@@ -1,0 +1,70 @@
+//! Tuning knobs for ALT-index construction and behaviour.
+
+/// Configuration for [`crate::AltIndex`].
+///
+/// Defaults follow the paper's recommendations (§III-D: ε =
+/// `bulkload_number / 1000`; fast pointers and dynamic retraining on).
+#[derive(Debug, Clone)]
+pub struct AltConfig {
+    /// GPL error bound ε. `None` = the paper's suggested
+    /// `bulkload_size / 1000` (clamped to [`AltConfig::MIN_EPSILON`]).
+    pub epsilon: Option<f64>,
+    /// Extra slot budget per model: capacity ≈ gap_factor × span. The
+    /// paper's "array gaps scheme to handle some coming insertions".
+    pub gap_factor: f64,
+    /// Enable the fast pointer buffer (§III-C). Off = every ART access
+    /// starts at the root (the Fig 10(a) ablation).
+    pub fast_pointers: bool,
+    /// Enable dynamic retraining (§III-F). Off = overflowed models keep
+    /// spilling into ART (part of the hot-write comparison).
+    pub retrain: bool,
+    /// Enable opportunistic write-back of ART entries into tombstoned GPL
+    /// slots during reads (Algorithm 2 lines 10-13).
+    pub write_back: bool,
+}
+
+impl AltConfig {
+    /// Smallest ε the auto rule will pick.
+    pub const MIN_EPSILON: f64 = 16.0;
+
+    /// The ε used for a bulk load of `n` keys.
+    pub fn effective_epsilon(&self, n: usize) -> f64 {
+        match self.epsilon {
+            Some(e) => e.max(0.0),
+            None => (n as f64 / 1000.0).max(Self::MIN_EPSILON),
+        }
+    }
+}
+
+impl Default for AltConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: None,
+            gap_factor: 1.25,
+            fast_pointers: true,
+            retrain: true,
+            write_back: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_epsilon_follows_paper_rule() {
+        let c = AltConfig::default();
+        assert_eq!(c.effective_epsilon(2_000_000), 2_000.0);
+        assert_eq!(c.effective_epsilon(100), AltConfig::MIN_EPSILON, "clamped");
+    }
+
+    #[test]
+    fn explicit_epsilon_wins() {
+        let c = AltConfig {
+            epsilon: Some(64.0),
+            ..Default::default()
+        };
+        assert_eq!(c.effective_epsilon(2_000_000), 64.0);
+    }
+}

@@ -1,0 +1,724 @@
+//! The ALT-index proper: the two-tier hybrid of a flattened GPL learned
+//! layer over an optimized ART (§III).
+//!
+//! Operation flow follows Algorithm 2 of the paper: every operation first
+//! locates a GPL model with a binary search over the (flat, sorted) model
+//! directory, computes the key's predicted slot with one calculation, and
+//! then either finishes in the slot or follows the model's fast pointer
+//! into the ART-OPT layer.
+
+use crate::config::AltConfig;
+use crate::dir::ModelDir;
+use crate::fast_ptr::{BufferHook, FastPointerBuffer};
+use crate::model::{build_model, GplModel, NO_FAST};
+use crate::slots::{ClaimResult, SlotState};
+use art::{Art, FromResult};
+use crossbeam_epoch::{self as epoch, Atomic, Guard};
+use index_api::{IndexError, Result};
+use learned::gpl::gpl_segment;
+use learned::LinearModel;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The ALT-index: a concurrent hybrid learned index over `u64 -> u64`.
+///
+/// ```
+/// use alt_index::AltIndex;
+/// let pairs: Vec<(u64, u64)> = (1..=10_000u64).map(|k| (k * 7, k)).collect();
+/// let idx = AltIndex::bulk_load_default(&pairs);
+/// assert_eq!(idx.get(7), Some(1));
+/// idx.insert(5, 99).unwrap();
+/// assert_eq!(idx.get(5), Some(99));
+/// ```
+pub struct AltIndex {
+    pub(crate) dir: Atomic<ModelDir>,
+    pub(crate) art: Arc<Art>,
+    pub(crate) buffer: Arc<FastPointerBuffer>,
+    pub(crate) cfg: AltConfig,
+    /// GPL error bound fixed at construction (the paper's
+    /// `bulkload_number / 1000` rule).
+    pub(crate) epsilon: f64,
+    /// Serializes structural directory changes (retrains).
+    pub(crate) dir_lock: Mutex<()>,
+    pub(crate) len: AtomicUsize,
+    pub(crate) retrains: AtomicUsize,
+}
+
+impl AltIndex {
+    /// Build over sorted, unique pairs (no key 0) with explicit
+    /// configuration.
+    pub fn bulk_load_with(pairs: &[(u64, u64)], cfg: AltConfig) -> Self {
+        debug_assert!(index_api::validate_bulk_input(pairs).is_ok());
+        let epsilon = cfg.effective_epsilon(pairs.len());
+        let buffer = Arc::new(FastPointerBuffer::new());
+        let art = Arc::new(Art::with_hook(Arc::new(BufferHook(Arc::clone(&buffer)))));
+
+        let (models, conflicts) = segment_and_build(pairs, epsilon, cfg.gap_factor, 0, None);
+        for &(k, v) in &conflicts {
+            art.insert(k, v);
+        }
+        let dir = ModelDir::new(models);
+        let idx = Self {
+            dir: Atomic::new(dir),
+            art,
+            buffer,
+            cfg,
+            epsilon,
+            dir_lock: Mutex::new(()),
+            len: AtomicUsize::new(pairs.len()),
+            retrains: AtomicUsize::new(0),
+        };
+        idx.register_all_fast_pointers();
+        idx
+    }
+
+    /// Build with the default configuration.
+    pub fn bulk_load_default(pairs: &[(u64, u64)]) -> Self {
+        Self::bulk_load_with(pairs, AltConfig::default())
+    }
+
+    /// An empty index (everything bootstraps through inserts + retrain).
+    pub fn new(cfg: AltConfig) -> Self {
+        Self::bulk_load_with(&[], cfg)
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &AltConfig {
+        &self.cfg
+    }
+
+    /// The GPL error bound in effect.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn dir_ref<'g>(&self, guard: &'g Guard) -> &'g ModelDir {
+        // SAFETY: the directory is always initialized (constructor) and
+        // only replaced under `dir_lock` with epoch-deferred destruction;
+        // the guard keeps the snapshot alive.
+        unsafe { self.dir.load(Ordering::Acquire, guard).deref() }
+    }
+
+    /// (Re-)register fast pointers for every model in the current
+    /// directory (bulk-load construction step §III-C ①-③).
+    fn register_all_fast_pointers(&self) {
+        if !self.cfg.fast_pointers {
+            return;
+        }
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        for (i, m) in dir.models.iter().enumerate() {
+            let slot = match dir.upper_bound(i) {
+                Some(next_first) => self.buffer.register(&self.art, m.first_key, next_first),
+                None => NO_FAST,
+            };
+            m.fast_slot.store(slot, Ordering::Release);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // ART access through the fast pointer buffer
+    // -----------------------------------------------------------------
+
+    /// ART lookup for a key routed through model `m` (the secondary query
+    /// that replaces the classic error-bounded search).
+    ///
+    /// The caller must hold an epoch pin taken *before* reading `m` from
+    /// the directory (the buffer pointer contract).
+    pub(crate) fn art_get(&self, m: &GplModel, key: u64) -> Option<u64> {
+        if self.cfg.fast_pointers && key >= m.first_key {
+            let fs = m.fast();
+            if fs != NO_FAST {
+                let node = self.buffer.get(fs);
+                if node != 0 {
+                    // SAFETY: `node` is maintained by the replace-hook
+                    // protocol; we are pinned (caller contract), so it is
+                    // not reclaimed while we use it; the key lies in the
+                    // model's interval so the jump covers it.
+                    match unsafe { self.art.get_from(node, key) } {
+                        FromResult::Done(v, _) => return v,
+                        FromResult::Fallback => {}
+                    }
+                }
+            }
+        }
+        self.art.get(key)
+    }
+
+    /// ART insert routed through model `m`. Returns true if inserted,
+    /// false if the key already existed.
+    pub(crate) fn art_insert(&self, m: &GplModel, key: u64, value: u64) -> bool {
+        if self.cfg.fast_pointers && key >= m.first_key {
+            let fs = m.fast();
+            if fs != NO_FAST {
+                let node = self.buffer.get(fs);
+                if node != 0 {
+                    // SAFETY: as in `art_get`.
+                    match unsafe { self.art.insert_from(node, key, value) } {
+                        FromResult::Done(ins, _) => return ins,
+                        FromResult::Fallback => {}
+                    }
+                }
+            }
+        }
+        self.art.insert(key, value)
+    }
+
+    // -----------------------------------------------------------------
+    // Point operations (Algorithm 2)
+    // -----------------------------------------------------------------
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        if key == 0 {
+            return None;
+        }
+        let guard = epoch::pin();
+        loop {
+            let dir = self.dir_ref(&guard);
+            let m = dir.model_for(key);
+            let pred = m.predict(key);
+            let (state, ver) = m.slots.read(pred);
+            match state {
+                SlotState::Occupied { key: k, value } if k == key => return Some(value),
+                SlotState::Empty => {
+                    // Algorithm 2 line 5-6: an unoccupied predicted slot
+                    // means the key cannot exist — unless the model was
+                    // concurrently replaced (different predictions).
+                    if m.is_retired() {
+                        continue;
+                    }
+                    return None;
+                }
+                SlotState::Tombstone | SlotState::Occupied { .. } => {
+                    // Conflict data: the direct ART query replaces the
+                    // classic secondary search.
+                    match self.art_get(m, key) {
+                        Some(v) => {
+                            if self.cfg.write_back && state == SlotState::Tombstone {
+                                self.try_write_back(m, pred, key, v);
+                            }
+                            return Some(v);
+                        }
+                        None => {
+                            // The miss is only conclusive if nothing moved
+                            // under us.
+                            if m.is_retired() || !m.slots.version_unchanged(pred, ver) {
+                                continue;
+                            }
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Opportunistic write-back (Algorithm 2 lines 10-13): move an ART
+    /// entry into the tombstoned slot it predicts to.
+    fn try_write_back(&self, m: &GplModel, pred: usize, key: u64, value: u64) {
+        // Never fight a retrain for this optimization.
+        let Some(_rl) = m.op_lock.try_read() else {
+            return;
+        };
+        if m.is_retired() {
+            return;
+        }
+        if m.slots.claim(pred, key, value) == ClaimResult::Written {
+            match self.art.remove(key) {
+                Some(fresh) => {
+                    if fresh != value {
+                        // The ART copy was updated after we read it; keep
+                        // the freshest value.
+                        m.slots.update_if_key(pred, key, fresh);
+                    }
+                }
+                None => {
+                    // A concurrent remover beat us to the ART entry: the
+                    // key is supposed to be gone. Undo our resurrection.
+                    m.slots.remove_if_key(pred, key);
+                }
+            }
+        }
+    }
+
+    /// Insert a new key.
+    pub fn insert(&self, key: u64, value: u64) -> Result<()> {
+        if key == 0 {
+            return Err(IndexError::ReservedKey);
+        }
+        let mut want_retrain = false;
+        let res = loop {
+            let guard = epoch::pin();
+            let dir = self.dir_ref(&guard);
+            let m = dir.model_for(key);
+            let _rl = m.op_lock.read();
+            if m.is_retired() {
+                continue;
+            }
+            let pred = m.predict(key);
+            let (state, _ver) = m.slots.read(pred);
+            match state {
+                SlotState::Occupied { key: k, .. } if k == key => {
+                    break Err(IndexError::DuplicateKey);
+                }
+                SlotState::Empty => match m.slots.claim(pred, key, value) {
+                    ClaimResult::Written => break Ok(()),
+                    ClaimResult::SameKey { .. } => break Err(IndexError::DuplicateKey),
+                    ClaimResult::OtherKey => continue,
+                },
+                SlotState::Tombstone => {
+                    // The key may still live in ART from before the
+                    // resident was removed.
+                    if self.art_get(m, key).is_some() {
+                        break Err(IndexError::DuplicateKey);
+                    }
+                    match m.slots.claim(pred, key, value) {
+                        ClaimResult::Written => break Ok(()),
+                        ClaimResult::SameKey { .. } => break Err(IndexError::DuplicateKey),
+                        ClaimResult::OtherKey => continue,
+                    }
+                }
+                SlotState::Occupied { .. } => {
+                    if !self.art_insert(m, key, value) {
+                        break Err(IndexError::DuplicateKey);
+                    }
+                    // Double-insert guard: if a racing thread installed the
+                    // same key into this (tombstoned-then-reclaimed) slot
+                    // while we inserted into ART, keep the slot copy.
+                    if let (SlotState::Occupied { key: k, .. }, _) = m.slots.read(pred) {
+                        if k == key {
+                            self.art.remove(key);
+                            break Err(IndexError::DuplicateKey);
+                        }
+                    }
+                    let overflow = m.art_inserts.fetch_add(1, Ordering::Relaxed) + 1;
+                    // A model built when ART was shallow has no shortcut
+                    // (or a near-root one). (Re-)resolve the LCA lazily as
+                    // the subtree grows: promptly while the model has no
+                    // pointer, then occasionally to chase tree growth.
+                    let fs = m.fast();
+                    if self.cfg.fast_pointers
+                        && ((fs == NO_FAST && overflow % 32 == 1) || overflow.is_multiple_of(256))
+                    {
+                        let mi = dir.locate(key);
+                        if let Some(upper) = dir.upper_bound(mi) {
+                            let slot = self.buffer.register(&self.art, m.first_key, upper);
+                            if slot != NO_FAST {
+                                m.fast_slot.store(slot, Ordering::Release);
+                            }
+                        }
+                    }
+                    want_retrain = m.wants_retrain();
+                    break Ok(());
+                }
+            }
+        };
+        if res.is_ok() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+            if want_retrain {
+                self.maybe_retrain(key);
+            }
+        }
+        res
+    }
+
+    /// Update an existing key in place.
+    pub fn update(&self, key: u64, value: u64) -> Result<()> {
+        if key == 0 {
+            return Err(IndexError::ReservedKey);
+        }
+        let guard = epoch::pin();
+        loop {
+            let dir = self.dir_ref(&guard);
+            let m = dir.model_for(key);
+            let pred = m.predict(key);
+            let (state, ver) = m.slots.read(pred);
+            match state {
+                SlotState::Occupied { key: k, .. } if k == key => {
+                    if m.slots.update_if_key(pred, key, value) {
+                        return Ok(());
+                    }
+                    continue; // slot changed under us
+                }
+                SlotState::Empty => {
+                    if m.is_retired() {
+                        continue;
+                    }
+                    return Err(IndexError::KeyNotFound);
+                }
+                SlotState::Tombstone | SlotState::Occupied { .. } => {
+                    if self.art.update(key, value) {
+                        return Ok(());
+                    }
+                    if m.is_retired() || !m.slots.version_unchanged(pred, ver) {
+                        continue;
+                    }
+                    return Err(IndexError::KeyNotFound);
+                }
+            }
+        }
+    }
+
+    /// Insert-or-update.
+    pub fn upsert(&self, key: u64, value: u64) -> Result<()> {
+        match self.insert(key, value) {
+            Err(IndexError::DuplicateKey) => self.update(key, value),
+            other => other,
+        }
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        if key == 0 {
+            return None;
+        }
+        let guard = epoch::pin();
+        loop {
+            let dir = self.dir_ref(&guard);
+            let m = dir.model_for(key);
+            let _rl = m.op_lock.read();
+            if m.is_retired() {
+                continue;
+            }
+            let pred = m.predict(key);
+            let (state, ver) = m.slots.read(pred);
+            match state {
+                SlotState::Occupied { key: k, .. } if k == key => {
+                    match m.slots.remove_if_key(pred, key) {
+                        Some(v) => {
+                            // Clear any transient ART copy (retrain
+                            // double-presence window / insert races).
+                            self.art.remove(key);
+                            self.len.fetch_sub(1, Ordering::Relaxed);
+                            return Some(v);
+                        }
+                        None => continue,
+                    }
+                }
+                SlotState::Empty => {
+                    if m.is_retired() {
+                        continue;
+                    }
+                    return None;
+                }
+                SlotState::Tombstone | SlotState::Occupied { .. } => match self.art.remove(key) {
+                    Some(v) => {
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                        return Some(v);
+                    }
+                    None => {
+                        if m.is_retired() || !m.slots.version_unchanged(pred, ver) {
+                            continue;
+                        }
+                        return None;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Approximate resident bytes: learned layer + ART + fast pointer
+    /// buffer.
+    pub fn memory_usage(&self) -> usize {
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        let learned: usize = dir.models.iter().map(|m| m.memory_usage()).sum();
+        learned + dir.memory_usage() + self.art.memory_usage() + self.buffer.memory_usage()
+    }
+}
+
+impl Drop for AltIndex {
+    fn drop(&mut self) {
+        // SAFETY: &mut self guarantees no concurrent readers; the
+        // unprotected guard is the standard teardown pattern.
+        unsafe {
+            let d = self.dir.load(Ordering::Relaxed, epoch::unprotected());
+            if !d.is_null() {
+                drop(d.into_owned());
+            }
+        }
+    }
+}
+
+/// GPL-segment `pairs` and build one gapped model per segment. Returns
+/// the models (sorted) and all conflict data destined for ART.
+///
+/// `route_floor`: when replacing a directory span whose smallest key has
+/// been removed, the first replacement model must still *route* from the
+/// old span start — otherwise keys between the old and new lower bound
+/// would fall to the previous model, outside the key interval its fast
+/// pointer was registered for (the jump-validity contract of §III-C).
+pub(crate) fn segment_and_build(
+    pairs: &[(u64, u64)],
+    epsilon: f64,
+    gap_factor: f64,
+    expansions: u32,
+    route_floor: Option<u64>,
+) -> (Vec<Arc<GplModel>>, Vec<(u64, u64)>) {
+    if pairs.is_empty() {
+        // Bootstrap model so the directory is never empty: anchored at
+        // key 1 with a modest slope so early inserts spread out.
+        let anchor = route_floor.unwrap_or(1).max(1);
+        let m = GplModel::new(
+            anchor,
+            LinearModel::new(anchor, 1.0 / 64.0),
+            1024,
+            0,
+            expansions,
+        );
+        return (vec![Arc::new(m)], Vec::new());
+    }
+    let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    let segments = gpl_segment(&keys, epsilon);
+    let mut raw = Vec::with_capacity(segments.len());
+    let mut conflicts = Vec::new();
+    for seg in segments {
+        let slice = &pairs[seg.start..seg.start + seg.len];
+        let (m, mut c) = build_model(slice, seg.model, gap_factor, expansions);
+        raw.push(m);
+        conflicts.append(&mut c);
+    }
+    if let Some(floor) = route_floor {
+        if let Some(first) = raw.first_mut() {
+            if first.first_key > floor {
+                first.first_key = floor;
+            }
+        }
+    }
+    (raw.into_iter().map(Arc::new).collect(), conflicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64, stride: u64) -> Vec<(u64, u64)> {
+        (1..=n).map(|i| (i * stride, i)).collect()
+    }
+
+    #[test]
+    fn bulk_load_and_get_linear() {
+        let p = pairs(50_000, 3);
+        let idx = AltIndex::bulk_load_default(&p);
+        assert_eq!(idx.len(), p.len());
+        for &(k, v) in &p {
+            assert_eq!(idx.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(idx.get(1), None);
+        assert_eq!(idx.get(2), None);
+        assert_eq!(idx.get(u64::MAX), None);
+        assert_eq!(idx.get(0), None, "reserved key");
+    }
+
+    #[test]
+    fn bulk_load_hard_distribution_spills_to_art() {
+        // Quadratic gaps are hard for a linear model: expect conflicts in
+        // ART, but all keys must resolve.
+        let p: Vec<(u64, u64)> = (1..=20_000u64).map(|i| (i * i, i)).collect();
+        let idx = AltIndex::bulk_load_with(
+            &p,
+            AltConfig {
+                epsilon: Some(512.0),
+                ..Default::default()
+            },
+        );
+        let stats = idx.stats();
+        assert!(stats.keys_in_art > 0, "expected spilled conflict data");
+        for &(k, v) in &p {
+            assert_eq!(idx.get(k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn insert_into_gaps_and_art() {
+        let p = pairs(10_000, 10);
+        let idx = AltIndex::bulk_load_default(&p);
+        // Keys between existing ones: some land in empty slots, some
+        // conflict into ART.
+        for i in 1..=9_999u64 {
+            let k = i * 10 + 5;
+            idx.insert(k, k).unwrap();
+        }
+        for i in 1..=9_999u64 {
+            let k = i * 10 + 5;
+            assert_eq!(idx.get(k), Some(k), "inserted key {k}");
+        }
+        // Originals intact.
+        for &(k, v) in &p {
+            assert_eq!(idx.get(k), Some(v));
+        }
+        assert_eq!(idx.len(), p.len() + 9_999);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected_everywhere() {
+        let p = pairs(1000, 100);
+        let idx = AltIndex::bulk_load_default(&p);
+        assert_eq!(
+            idx.insert(100, 5),
+            Err(IndexError::DuplicateKey),
+            "slot key"
+        );
+        idx.insert(150, 1).unwrap();
+        assert_eq!(idx.insert(150, 2), Err(IndexError::DuplicateKey));
+        assert_eq!(idx.insert(0, 1), Err(IndexError::ReservedKey));
+        assert_eq!(idx.get(150), Some(1));
+    }
+
+    #[test]
+    fn update_slot_and_art_residents() {
+        let p = pairs(1000, 2);
+        let idx = AltIndex::bulk_load_default(&p);
+        idx.update(2, 999).unwrap();
+        assert_eq!(idx.get(2), Some(999));
+        // Force an ART resident: odd keys conflict heavily on stride-2.
+        idx.insert(3, 30).unwrap();
+        idx.update(3, 31).unwrap();
+        assert_eq!(idx.get(3), Some(31));
+        assert_eq!(idx.update(99_999, 1), Err(IndexError::KeyNotFound));
+    }
+
+    #[test]
+    fn remove_and_tombstone_reuse() {
+        let p = pairs(1000, 10);
+        let idx = AltIndex::bulk_load_default(&p);
+        assert_eq!(idx.remove(10), Some(1));
+        assert_eq!(idx.get(10), None);
+        assert_eq!(idx.remove(10), None, "double remove");
+        assert_eq!(idx.len(), 999);
+        // The tombstoned slot accepts a new key that predicts there.
+        idx.insert(10, 11).unwrap();
+        assert_eq!(idx.get(10), Some(11));
+        assert_eq!(idx.len(), 1000);
+    }
+
+    #[test]
+    fn write_back_promotes_art_entry_into_tombstone() {
+        let p = pairs(100, 4);
+        let idx = AltIndex::bulk_load_default(&p);
+        // 41 and 42 predict near each other; force 42's neighborhood:
+        // insert a key that conflicts into ART, then remove the slot
+        // resident and read.
+        idx.insert(41, 410).unwrap(); // may be slot or ART
+        idx.insert(42, 420).unwrap();
+        idx.insert(43, 430).unwrap();
+        let before = idx.stats().keys_in_art;
+        if before == 0 {
+            return; // layout absorbed everything; nothing to exercise
+        }
+        // Remove slot residents around the conflicts, then read the ART
+        // keys: write-back should move at least one into the learned
+        // layer.
+        idx.remove(40);
+        idx.remove(44);
+        for k in [41u64, 42, 43] {
+            assert_eq!(idx.get(k), Some(k * 10));
+            assert_eq!(idx.get(k), Some(k * 10), "stable after write-back");
+        }
+        let after = idx.stats().keys_in_art;
+        assert!(after <= before, "write-back never grows ART");
+    }
+
+    #[test]
+    fn upsert_both_paths() {
+        let idx = AltIndex::bulk_load_default(&pairs(100, 10));
+        idx.upsert(10, 111).unwrap(); // existing
+        assert_eq!(idx.get(10), Some(111));
+        idx.upsert(15, 222).unwrap(); // new
+        assert_eq!(idx.get(15), Some(222));
+    }
+
+    #[test]
+    fn empty_index_bootstraps_through_inserts() {
+        let idx = AltIndex::new(AltConfig::default());
+        assert!(idx.is_empty());
+        for k in 1..=5000u64 {
+            idx.insert(k * 3, k).unwrap();
+        }
+        assert_eq!(idx.len(), 5000);
+        for k in 1..=5000u64 {
+            assert_eq!(idx.get(k * 3), Some(k), "key {}", k * 3);
+        }
+    }
+
+    #[test]
+    fn keys_below_global_minimum() {
+        let p: Vec<(u64, u64)> = (100..200u64).map(|k| (k * 1000, k)).collect();
+        let idx = AltIndex::bulk_load_default(&p);
+        assert_eq!(idx.get(5), None);
+        idx.insert(5, 55).unwrap();
+        assert_eq!(idx.get(5), Some(55));
+        idx.insert(3, 33).unwrap();
+        assert_eq!(idx.get(3), Some(33));
+        assert_eq!(idx.remove(5), Some(55));
+        assert_eq!(idx.get(5), None);
+        assert_eq!(idx.get(3), Some(33));
+    }
+
+    #[test]
+    fn concurrent_insert_get_mixed() {
+        let p = pairs(50_000, 8);
+        let idx = Arc::new(AltIndex::bulk_load_default(&p));
+        let threads = 8u64;
+        let mut hs = Vec::new();
+        for t in 0..threads {
+            let idx = Arc::clone(&idx);
+            hs.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    let k = (t * 5_000 + i) * 8 + 3; // disjoint new keys
+                    idx.insert(k, k).unwrap();
+                    // Read back own write plus a bulk key.
+                    assert_eq!(idx.get(k), Some(k));
+                    let bulk = ((i % 50_000) + 1) * 8;
+                    assert_eq!(idx.get(bulk), Some(bulk / 8));
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 50_000 + 40_000);
+        for t in 0..threads {
+            for i in 0..5_000u64 {
+                let k = (t * 5_000 + i) * 8 + 3;
+                assert_eq!(idx.get(k), Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_once() {
+        let idx = Arc::new(AltIndex::bulk_load_default(&pairs(1000, 10)));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let mut hs = Vec::new();
+        for t in 0..8u64 {
+            let idx = Arc::clone(&idx);
+            let barrier = Arc::clone(&barrier);
+            hs.push(std::thread::spawn(move || {
+                let mut wins = 0usize;
+                for k in 1..200u64 {
+                    let key = k * 10 + 7;
+                    barrier.wait();
+                    if idx.insert(key, t).is_ok() {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let total: usize = hs.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 199, "exactly one winner per key");
+    }
+}

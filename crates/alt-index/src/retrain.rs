@@ -1,0 +1,296 @@
+//! Dynamic retraining (§III-F): partial refactoring of one overcrowded
+//! GPL model.
+//!
+//! When a model's overflow inserts exceed its build size, the span is
+//! rebuilt: live slot entries are merged with the span's ART residents,
+//! re-segmented with GPL at a doubled gap budget (the paper's "temporal
+//! buffer twice larger / doubled train slope"), and the fresh model(s)
+//! are swapped into the directory RCU-style. ART keys absorbed by the new
+//! slots are then deleted from ART; keys that still conflict stay there.
+//! If the retrained model was the last one, re-segmentation naturally
+//! grows new tail models for out-of-range insertions.
+
+use crate::index::{segment_and_build, AltIndex};
+use crate::model::NO_FAST;
+use crossbeam_epoch as epoch;
+use std::sync::atomic::Ordering;
+
+impl AltIndex {
+    /// Number of completed retrains (Fig 8(b) hot-write diagnostics).
+    pub fn retrain_count(&self) -> usize {
+        self.retrains.load(Ordering::Relaxed)
+    }
+
+    /// Attempt to retrain the model covering `key_hint`. Quietly returns
+    /// if another structural change is in flight or the model no longer
+    /// wants retraining.
+    pub(crate) fn maybe_retrain(&self, key_hint: u64) {
+        if !self.cfg.retrain {
+            return;
+        }
+        // One structural change at a time; droppers just skip (the next
+        // overflow insert will retry).
+        let Some(_dl) = self.dir_lock.try_lock() else {
+            return;
+        };
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        let mi = dir.locate(key_hint);
+        let m = &dir.models[mi];
+        if m.is_retired() || !m.wants_retrain() {
+            return;
+        }
+
+        // Block writers to this model for the copy phase; readers stay
+        // lock-free and are redirected by the `retired` flag afterwards.
+        let _wl = m.op_lock.write();
+
+        // Collect the span's data: live slots + the ART range.
+        let mut slot_pairs: Vec<(u64, u64)> = Vec::with_capacity(m.build_size);
+        m.slots.for_each_live(|_, k, v| slot_pairs.push((k, v)));
+        let lo = if mi == 0 { 1 } else { m.first_key };
+        let hi = dir.upper_bound(mi).map(|u| u - 1).unwrap_or(u64::MAX);
+        let mut art_pairs: Vec<(u64, u64)> = Vec::new();
+        self.art.range(lo, hi, &mut art_pairs);
+
+        // Merge (both sides sorted); on the rare double-presence the slot
+        // copy wins (write-back deletes the ART copy on sight anyway).
+        let merged = merge_pairs(&slot_pairs, &art_pairs);
+        if merged.is_empty() {
+            // Everything in the span was removed; nothing to refactor.
+            return;
+        }
+
+        let expansions = m.expansions.saturating_add(1);
+        let (models, conflicts) = segment_and_build(
+            &merged,
+            self.epsilon,
+            self.cfg.gap_factor,
+            expansions,
+            Some(m.first_key),
+        );
+
+        // Conflict keys that came from the learned layer must move down
+        // to ART before the swap so no reader window misses them.
+        {
+            let mut ci = 0usize;
+            for &(k, v) in &slot_pairs {
+                while ci < conflicts.len() && conflicts[ci].0 < k {
+                    ci += 1;
+                }
+                if ci < conflicts.len() && conflicts[ci].0 == k {
+                    self.art.upsert(k, v);
+                }
+            }
+        }
+
+        // Register fast pointers for the new models (reusing entries via
+        // the merge scheme).
+        if self.cfg.fast_pointers {
+            let next_after = dir.upper_bound(mi);
+            for (i, nm) in models.iter().enumerate() {
+                let upper = models.get(i + 1).map(|n| n.first_key).or(next_after);
+                let slot = match upper {
+                    Some(u) => self.buffer.register(&self.art, nm.first_key, u),
+                    None => NO_FAST,
+                };
+                nm.fast_slot.store(slot, Ordering::Release);
+            }
+        }
+
+        // Publish the new directory and retire the old snapshot.
+        let new_dir = dir.replace(mi, models);
+        let old = self
+            .dir
+            .swap(epoch::Owned::new(new_dir), Ordering::AcqRel, &guard);
+        // SAFETY: `old` was just unlinked under `dir_lock`; readers still
+        // holding it are protected by their epoch pins.
+        unsafe { guard.defer_destroy(old) };
+        m.retired.store(true, Ordering::Release);
+
+        // Remove the ART keys the new slots absorbed (everything in the
+        // span except the still-conflicting ones). Readers racing these
+        // deletes see `retired` and retry against the new directory.
+        {
+            let mut ci = 0usize;
+            for &(k, _) in &art_pairs {
+                while ci < conflicts.len() && conflicts[ci].0 < k {
+                    ci += 1;
+                }
+                let still_conflicts = ci < conflicts.len() && conflicts[ci].0 == k;
+                if !still_conflicts {
+                    self.art.remove(k);
+                }
+            }
+        }
+        self.retrains.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Merge two sorted pair slices; `a` wins on duplicate keys.
+fn merge_pairs(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AltConfig;
+    use crate::index::AltIndex;
+    use std::sync::Arc;
+
+    #[test]
+    fn merge_pairs_dedupes_preferring_left() {
+        let a = [(1u64, 10u64), (3, 30), (5, 50)];
+        let b = [(2u64, 20u64), (3, 31), (6, 60)];
+        assert_eq!(
+            merge_pairs(&a, &b),
+            vec![(1, 10), (2, 20), (3, 30), (5, 50), (6, 60)]
+        );
+        assert_eq!(merge_pairs(&[], &b), b.to_vec());
+        assert_eq!(merge_pairs(&a, &[]), a.to_vec());
+    }
+
+    #[test]
+    fn hot_insert_burst_triggers_retrain_and_keeps_all_keys() {
+        // Small bulk load, then a dense burst into one region — the
+        // paper's hot-write scenario.
+        let pairs: Vec<(u64, u64)> = (1..=2_000u64).map(|i| (i * 1_000, i)).collect();
+        let idx = AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(64.0),
+                ..Default::default()
+            },
+        );
+        // Burst: ~20k consecutive keys inside one model's span (skipping
+        // the multiples of 1000 that exist from the bulk load).
+        let burst: Vec<u64> = (500_001..=520_000u64).filter(|k| k % 1000 != 0).collect();
+        for &k in &burst {
+            idx.insert(k, k).unwrap();
+        }
+        assert!(idx.retrain_count() > 0, "burst must trigger retraining");
+        for &k in &burst {
+            assert_eq!(idx.get(k), Some(k), "hot key {k}");
+        }
+        for &(k, v) in &pairs {
+            assert_eq!(idx.get(k), Some(v), "bulk key {k}");
+        }
+        assert_eq!(idx.len(), 2_000 + burst.len());
+    }
+
+    #[test]
+    fn retrain_moves_data_back_into_learned_layer() {
+        let pairs: Vec<(u64, u64)> = (1..=1_000u64).map(|i| (i * 1_000, i)).collect();
+        let idx = AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(64.0),
+                ..Default::default()
+            },
+        );
+        for k in (100_001..=110_000u64).filter(|k| k % 1000 != 0) {
+            idx.insert(k, k).unwrap();
+        }
+        let s = idx.stats();
+        assert!(idx.retrain_count() > 0);
+        // After retraining, the learned layer holds the majority of the
+        // hot region (dense consecutive keys are perfectly linear).
+        assert!(
+            s.keys_in_learned > s.keys_in_art,
+            "learned {} vs art {}",
+            s.keys_in_learned,
+            s.keys_in_art
+        );
+    }
+
+    #[test]
+    fn tail_growth_appends_models() {
+        // Inserting past the last model's span must eventually grow new
+        // tail models rather than drowning ART.
+        let pairs: Vec<(u64, u64)> = (1..=1_000u64).map(|i| (i, i)).collect();
+        let idx = AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(64.0),
+                ..Default::default()
+            },
+        );
+        let models_before = idx.stats().num_models;
+        for k in 10_000..30_000u64 {
+            idx.insert(k, k).unwrap();
+        }
+        let models_after = idx.stats().num_models;
+        assert!(
+            models_after > models_before,
+            "{models_after} !> {models_before}"
+        );
+        for k in 10_000..30_000u64 {
+            assert_eq!(idx.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_ops_during_retrain_storm() {
+        // Hammer one span from many threads so retrains overlap reads and
+        // writes; verify full consistency at quiesce.
+        let pairs: Vec<(u64, u64)> = (1..=500u64).map(|i| (i * 10_000, i)).collect();
+        let idx = Arc::new(AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(32.0),
+                ..Default::default()
+            },
+        ));
+        let threads = 8u64;
+        let per = 4_000u64;
+        let mut hs = Vec::new();
+        for t in 0..threads {
+            let idx = Arc::clone(&idx);
+            hs.push(std::thread::spawn(move || {
+                // Odd keys (stride 2) never collide with the bulk's
+                // multiples of 10_000; per-thread blocks are disjoint.
+                let base = 1_000_001 + t * per * 2;
+                for i in 0..per {
+                    let k = base + i * 2;
+                    idx.insert(k, k).unwrap();
+                    assert_eq!(idx.get(k), Some(k), "own write {k}");
+                    // Keep reading bulk keys under the storm.
+                    let bulk = ((i % 500) + 1) * 10_000;
+                    assert_eq!(idx.get(bulk), Some(bulk / 10_000));
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        for t in 0..threads {
+            for i in 0..per {
+                let k = 1_000_001 + t * per * 2 + i * 2;
+                assert_eq!(idx.get(k), Some(k));
+            }
+        }
+        assert_eq!(idx.len(), 500 + (threads * per) as usize);
+    }
+}

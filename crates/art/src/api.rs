@@ -1,0 +1,85 @@
+//! [`index_api::ConcurrentIndex`] adapter: the standalone "ART" baseline
+//! of Table I and Figs 7-9.
+
+use crate::tree::Art;
+use index_api::{BulkLoad, ConcurrentIndex, IndexError, Key, Result, Value};
+
+impl ConcurrentIndex for Art {
+    fn get(&self, key: Key) -> Option<Value> {
+        Art::get(self, key)
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Result<()> {
+        if key == index_api::RESERVED_KEY {
+            return Err(IndexError::ReservedKey);
+        }
+        if Art::insert(self, key, value) {
+            Ok(())
+        } else {
+            Err(IndexError::DuplicateKey)
+        }
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<()> {
+        if Art::update(self, key, value) {
+            Ok(())
+        } else {
+            Err(IndexError::KeyNotFound)
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        Art::remove(self, key)
+    }
+
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {
+        Art::range(self, lo, hi, out)
+    }
+
+    fn scan(&self, lo: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        Art::scan_n(self, lo, n, out)
+    }
+
+    fn memory_usage(&self) -> usize {
+        Art::memory_usage(self)
+    }
+
+    fn len(&self) -> usize {
+        Art::len(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "ART"
+    }
+}
+
+impl BulkLoad for Art {
+    fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        let t = Art::new();
+        for &(k, v) in pairs {
+            t.insert(k, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip_via_trait() {
+        let pairs: Vec<(u64, u64)> = (1..=1000u64).map(|i| (i * 5, i)).collect();
+        let t: Box<dyn ConcurrentIndex> = Box::new(Art::bulk_load(&pairs));
+        assert_eq!(t.name(), "ART");
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.get(5), Some(1));
+        assert_eq!(t.insert(5, 9), Err(IndexError::DuplicateKey));
+        assert_eq!(t.insert(0, 9), Err(IndexError::ReservedKey));
+        t.update(5, 10).unwrap();
+        assert_eq!(t.get(5), Some(10));
+        let mut out = Vec::new();
+        assert_eq!(t.scan(4, 2, &mut out), 2);
+        assert_eq!(t.remove(5), Some(10));
+    }
+}

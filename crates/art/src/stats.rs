@@ -1,0 +1,149 @@
+//! Structural statistics: node-type census, depth distribution, and
+//! iteration helpers. Diagnostic traversals — consistent at rest, best
+//! effort under concurrency.
+
+use crate::node::{self, NodePtr, NodeType};
+use crate::tree::Art;
+use crossbeam_epoch as epoch;
+use std::sync::atomic::Ordering;
+
+/// A census of the tree's structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArtStats {
+    /// Number of Node4s.
+    pub n4: usize,
+    /// Number of Node16s.
+    pub n16: usize,
+    /// Number of Node48s.
+    pub n48: usize,
+    /// Number of Node256s.
+    pub n256: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Sum of leaf depths (nodes on the path including the leaf).
+    pub depth_sum: usize,
+    /// Maximum leaf depth.
+    pub depth_max: usize,
+}
+
+impl ArtStats {
+    /// Total internal nodes.
+    pub fn internal(&self) -> usize {
+        self.n4 + self.n16 + self.n48 + self.n256
+    }
+
+    /// Average leaf depth (path length in nodes).
+    pub fn avg_depth(&self) -> f64 {
+        if self.leaves == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.leaves as f64
+        }
+    }
+}
+
+impl Art {
+    /// Take a structural census (O(tree); diagnostic use).
+    pub fn structure_stats(&self) -> ArtStats {
+        let _guard = epoch::pin();
+        let mut s = ArtStats::default();
+        let root = self.root.load(Ordering::Acquire);
+        if root != 0 {
+            // SAFETY: pinned epoch; best-effort traversal.
+            unsafe { census(root, 1, &mut s) };
+        }
+        s
+    }
+
+    /// Visit every `(key, value)` in ascending order (consistent at
+    /// rest; under concurrency equivalent to `range(0, MAX)` semantics).
+    pub fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        let mut out = Vec::new();
+        self.range(0, u64::MAX, &mut out);
+        for (k, v) in out {
+            f(k, v);
+        }
+    }
+
+    /// Smallest key in the tree.
+    pub fn min_key(&self) -> Option<(u64, u64)> {
+        self.seek_ge(0)
+    }
+}
+
+/// # Safety
+/// `p` live, epoch pinned by the caller.
+unsafe fn census(p: NodePtr, depth: usize, s: &mut ArtStats) {
+    if node::is_leaf(p) {
+        s.leaves += 1;
+        s.depth_sum += depth;
+        s.depth_max = s.depth_max.max(depth);
+        return;
+    }
+    let hdr = node::header(p);
+    match hdr.node_type {
+        NodeType::N4 => s.n4 += 1,
+        NodeType::N16 => s.n16 += 1,
+        NodeType::N48 => s.n48 += 1,
+        NodeType::N256 => s.n256 += 1,
+    }
+    node::for_each_child(p, |_, c| {
+        census(c, depth + 1, s);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::Art;
+
+    #[test]
+    fn census_counts_match_tree_content() {
+        let t = Art::new();
+        for i in 1..=1_000u64 {
+            t.insert(i * 3, i);
+        }
+        let s = t.structure_stats();
+        assert_eq!(s.leaves, 1_000);
+        assert!(s.internal() > 0);
+        assert!(s.avg_depth() >= 2.0, "avg {}", s.avg_depth());
+        assert!(s.depth_max as f64 >= s.avg_depth());
+    }
+
+    #[test]
+    fn empty_and_single_leaf() {
+        let t = Art::new();
+        assert_eq!(t.structure_stats().leaves, 0);
+        assert_eq!(t.min_key(), None);
+        t.insert(42, 1);
+        let s = t.structure_stats();
+        assert_eq!((s.leaves, s.internal()), (1, 0));
+        assert_eq!(t.min_key(), Some((42, 1)));
+    }
+
+    #[test]
+    fn dense_bytes_grow_wide_nodes() {
+        let t = Art::new();
+        // 256 children under one parent byte-position.
+        for b in 0..=255u64 {
+            t.insert(0xAA00 + b, b);
+        }
+        let s = t.structure_stats();
+        assert_eq!(s.n256, 1, "{s:?}");
+        assert_eq!(s.leaves, 256);
+    }
+
+    #[test]
+    fn for_each_yields_sorted_everything() {
+        let t = Art::new();
+        let keys: Vec<u64> = (1..500u64).map(|i| i * 977 % 65_536 + 1).collect();
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        let mut seen = Vec::new();
+        t.for_each(|k, _| seen.push(k));
+        assert_eq!(seen, expect);
+    }
+}

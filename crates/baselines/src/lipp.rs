@@ -1,0 +1,483 @@
+//! **LIPP+**-like baseline: precise-position nodes with conflict child
+//! nodes and per-node statistics counters.
+//!
+//! Mechanisms reproduced from LIPP (Wu et al., VLDB 2021) and its
+//! concurrent LIPP+ variant:
+//!
+//! * every key sits at *exactly* its predicted slot (no secondary
+//!   search); a conflicting insert **creates a child node** over the two
+//!   keys (the paper measures this at 40.7% of insertion cost);
+//! * every node on the insert path updates **statistics counters** — the
+//!   cache-line invalidation that caps LIPP+'s concurrent throughput,
+//!   especially on the root (§II-B / Table I);
+//! * generous slot budgets (capacity ≈ 2-4× keys) — the memory overhead
+//!   Fig 8(a) shows.
+//!
+//! Simplification: the FMCD subtree rebuild is replaced by static child
+//! creation (no rebuilds); this only makes LIPP+ *faster* on hot-write
+//! runs, so the comparative ordering is conservative.
+
+use crate::seqlock::SeqLock;
+use index_api::{BulkLoad, ConcurrentIndex, IndexError, Key, Result, Value};
+use learned::LinearModel;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+const TAG_EMPTY: u8 = 0;
+const TAG_DATA: u8 = 1;
+const TAG_CHILD: u8 = 2;
+
+/// Capacity factor for internal node construction.
+const FANOUT_BUDGET: f64 = 2.0;
+/// Capacity of conflict children created at runtime.
+const CHILD_CAP: usize = 8;
+
+struct LippNode {
+    model: LinearModel,
+    lock: SeqLock,
+    tags: Box<[AtomicU8]>,
+    keys: Box<[AtomicU64]>,
+    vals: Box<[AtomicU64]>,
+    children: Box<[OnceLock<Box<LippNode>>]>,
+    /// The statistics counters LIPP maintains per node (insert count and
+    /// conflict count drive its SMO decisions); updated on every insert
+    /// that passes through — deliberately shared-write-hot.
+    num_inserts: AtomicU32,
+    num_conflicts: AtomicU32,
+}
+
+impl LippNode {
+    fn with_capacity(model: LinearModel, cap: usize) -> Self {
+        let cap = cap.max(2);
+        Self {
+            model,
+            lock: SeqLock::new(),
+            tags: (0..cap).map(|_| AtomicU8::new(TAG_EMPTY)).collect(),
+            keys: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            vals: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            children: (0..cap).map(|_| OnceLock::new()).collect(),
+            num_inserts: AtomicU32::new(0),
+            num_conflicts: AtomicU32::new(0),
+        }
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.tags.len()
+    }
+
+    #[inline]
+    fn predict(&self, key: u64) -> usize {
+        self.model.predict_clamped(key, self.cap())
+    }
+
+    /// Build a node over sorted pairs, recursing for colliding groups.
+    fn build(pairs: &[(u64, u64)]) -> Self {
+        let n = pairs.len();
+        let cap = ((n as f64 * FANOUT_BUDGET) as usize).max(n + 1).max(2);
+        let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let base = LinearModel::fit_endpoints(&keys).unwrap_or(LinearModel::point(1));
+        let scale = if n > 1 {
+            (cap - 1) as f64 / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let node = Self::with_capacity(LinearModel::new(base.first_key, base.slope * scale), cap);
+        // Group the sorted pairs by predicted slot; singleton groups go
+        // in place, larger groups become children.
+        let mut i = 0;
+        while i < n {
+            let slot = node.predict(pairs[i].0);
+            let mut j = i + 1;
+            while j < n && node.predict(pairs[j].0) == slot {
+                j += 1;
+            }
+            if j - i == 1 {
+                node.keys[slot].store(pairs[i].0, Ordering::Relaxed);
+                node.vals[slot].store(pairs[i].1, Ordering::Relaxed);
+                node.tags[slot].store(TAG_DATA, Ordering::Relaxed);
+            } else {
+                let child = Box::new(Self::build(&pairs[i..j]));
+                node.children[slot].set(child).ok().expect("fresh slot");
+                node.tags[slot].store(TAG_CHILD, Ordering::Relaxed);
+            }
+            i = j;
+        }
+        node
+    }
+
+    fn memory(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>() + self.cap() * (1 + 8 + 8 + 16);
+        for i in 0..self.cap() {
+            if self.tags[i].load(Ordering::Relaxed) == TAG_CHILD {
+                if let Some(c) = self.children[i].get() {
+                    total += c.memory();
+                }
+            }
+        }
+        total
+    }
+
+    /// In-order traversal over `[lo, hi]`, stopping once `remaining`
+    /// entries have been collected. The model is monotone, so only slots
+    /// in `[predict(lo), predict(hi)]` can hold qualifying keys — the
+    /// pruning that makes bounded scans cheap.
+    fn range_into(&self, lo: u64, hi: u64, remaining: &mut usize, out: &mut Vec<(u64, u64)>) {
+        if *remaining == 0 {
+            return;
+        }
+        let first = self.predict(lo);
+        let last = self.predict(hi);
+        for i in first..=last.min(self.cap() - 1) {
+            if *remaining == 0 {
+                return;
+            }
+            match self.tags[i].load(Ordering::Acquire) {
+                TAG_DATA => {
+                    let k = self.keys[i].load(Ordering::Acquire);
+                    if k != 0 && k >= lo && k <= hi {
+                        out.push((k, self.vals[i].load(Ordering::Acquire)));
+                        *remaining -= 1;
+                    }
+                }
+                TAG_CHILD => {
+                    if let Some(c) = self.children[i].get() {
+                        c.range_into(lo, hi, remaining, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The LIPP+-like baseline index.
+pub struct LippLike {
+    root: LippNode,
+    len: AtomicUsize,
+}
+
+impl LippLike {
+    /// Build over sorted unique pairs.
+    pub fn build(pairs: &[(u64, u64)]) -> Self {
+        let root = if pairs.is_empty() {
+            LippNode::with_capacity(LinearModel::new(1, 1.0 / 1024.0), 4096)
+        } else {
+            LippNode::build(pairs)
+        };
+        Self {
+            root,
+            len: AtomicUsize::new(pairs.len()),
+        }
+    }
+
+    /// Total conflict-child creations (diagnostics).
+    pub fn conflicts(&self) -> u64 {
+        self.root.num_conflicts.load(Ordering::Relaxed) as u64
+    }
+}
+
+impl ConcurrentIndex for LippLike {
+    fn get(&self, key: Key) -> Option<Value> {
+        if key == 0 {
+            return None;
+        }
+        let mut node = &self.root;
+        loop {
+            let slot = node.predict(key);
+            let v = node.lock.read_begin();
+            let tag = node.tags[slot].load(Ordering::Acquire);
+            match tag {
+                TAG_EMPTY => {
+                    if node.lock.read_validate(v) {
+                        return None;
+                    }
+                }
+                TAG_DATA => {
+                    let k = node.keys[slot].load(Ordering::Acquire);
+                    let val = node.vals[slot].load(Ordering::Acquire);
+                    if node.lock.read_validate(v) {
+                        return if k == key { Some(val) } else { None };
+                    }
+                }
+                _ => {
+                    if let Some(c) = node.children[slot].get() {
+                        if node.lock.read_validate(v) {
+                            node = c;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // validation failed: retry the same node
+        }
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Result<()> {
+        if key == 0 {
+            return Err(IndexError::ReservedKey);
+        }
+        let mut node = &self.root;
+        loop {
+            // The statistics update on every node along the path — the
+            // shared-counter hot spot the paper attributes LIPP+'s
+            // concurrency ceiling to.
+            node.num_inserts.fetch_add(1, Ordering::Relaxed);
+            let slot = node.predict(key);
+            node.lock.write_lock();
+            match node.tags[slot].load(Ordering::Relaxed) {
+                TAG_EMPTY => {
+                    node.keys[slot].store(key, Ordering::Relaxed);
+                    node.vals[slot].store(value, Ordering::Relaxed);
+                    node.tags[slot].store(TAG_DATA, Ordering::Release);
+                    node.lock.write_unlock();
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                TAG_DATA => {
+                    let k = node.keys[slot].load(Ordering::Relaxed);
+                    if k == key {
+                        node.lock.write_unlock();
+                        return Err(IndexError::DuplicateKey);
+                    }
+                    // Conflict: push both keys into a fresh child.
+                    let v0 = node.vals[slot].load(Ordering::Relaxed);
+                    let (a, b) = if k < key {
+                        ((k, v0), (key, value))
+                    } else {
+                        ((key, value), (k, v0))
+                    };
+                    let span = b.0 - a.0;
+                    let slope = (CHILD_CAP - 1) as f64 / span as f64;
+                    let child = LippNode::with_capacity(LinearModel::new(a.0, slope), CHILD_CAP);
+                    let sa = child.predict(a.0);
+                    let sb = child.predict(b.0);
+                    debug_assert_ne!(sa, sb);
+                    child.keys[sa].store(a.0, Ordering::Relaxed);
+                    child.vals[sa].store(a.1, Ordering::Relaxed);
+                    child.tags[sa].store(TAG_DATA, Ordering::Relaxed);
+                    child.keys[sb].store(b.0, Ordering::Relaxed);
+                    child.vals[sb].store(b.1, Ordering::Relaxed);
+                    child.tags[sb].store(TAG_DATA, Ordering::Relaxed);
+                    node.children[slot]
+                        .set(Box::new(child))
+                        .ok()
+                        .expect("slot transitions to child exactly once");
+                    node.tags[slot].store(TAG_CHILD, Ordering::Release);
+                    node.num_conflicts.fetch_add(1, Ordering::Relaxed);
+                    node.lock.write_unlock();
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                _ => {
+                    let child = node.children[slot].get().expect("child tag implies child");
+                    node.lock.write_unlock();
+                    node = child;
+                }
+            }
+        }
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<()> {
+        if key == 0 {
+            return Err(IndexError::ReservedKey);
+        }
+        let mut node = &self.root;
+        loop {
+            let slot = node.predict(key);
+            node.lock.write_lock();
+            match node.tags[slot].load(Ordering::Relaxed) {
+                TAG_DATA if node.keys[slot].load(Ordering::Relaxed) == key => {
+                    node.vals[slot].store(value, Ordering::Release);
+                    node.lock.write_unlock();
+                    return Ok(());
+                }
+                TAG_CHILD => {
+                    let child = node.children[slot].get().expect("child tag implies child");
+                    node.lock.write_unlock();
+                    node = child;
+                }
+                _ => {
+                    node.lock.write_unlock();
+                    return Err(IndexError::KeyNotFound);
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        if key == 0 {
+            return None;
+        }
+        let mut node = &self.root;
+        loop {
+            let slot = node.predict(key);
+            node.lock.write_lock();
+            match node.tags[slot].load(Ordering::Relaxed) {
+                TAG_DATA if node.keys[slot].load(Ordering::Relaxed) == key => {
+                    let v = node.vals[slot].load(Ordering::Relaxed);
+                    node.tags[slot].store(TAG_EMPTY, Ordering::Release);
+                    node.keys[slot].store(0, Ordering::Relaxed);
+                    node.lock.write_unlock();
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(v);
+                }
+                TAG_CHILD => {
+                    let child = node.children[slot].get().expect("child tag implies child");
+                    node.lock.write_unlock();
+                    node = child;
+                }
+                _ => {
+                    node.lock.write_unlock();
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {
+        let before = out.len();
+        let mut remaining = usize::MAX;
+        self.root.range_into(lo.max(1), hi, &mut remaining, out);
+        // In-order traversal of a monotone model yields sorted output;
+        // concurrent inserts may interleave, so enforce order.
+        out[before..].sort_unstable_by_key(|p| p.0);
+        out.len() - before
+    }
+
+    fn scan(&self, lo: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        let before = out.len();
+        // Collect a little extra to absorb concurrent interleavings, then
+        // sort-truncate.
+        let mut remaining = n.saturating_mul(2).max(n + 8);
+        self.root
+            .range_into(lo.max(1), u64::MAX, &mut remaining, out);
+        out[before..].sort_unstable_by_key(|p| p.0);
+        out.truncate(before + n);
+        out.len() - before
+    }
+
+    fn memory_usage(&self) -> usize {
+        self.root.memory() + std::mem::size_of::<Self>()
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> &'static str {
+        "LIPP+"
+    }
+}
+
+impl BulkLoad for LippLike {
+    fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        Self::build(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_and_get() {
+        let pairs: Vec<(u64, u64)> = (1..=20_000u64).map(|i| (i * 13, i)).collect();
+        let l = LippLike::build(&pairs);
+        for &(k, v) in &pairs {
+            assert_eq!(l.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(l.get(12), None);
+    }
+
+    #[test]
+    fn conflicts_build_children() {
+        let pairs: Vec<(u64, u64)> = (1..=1_000u64).map(|i| (i * 100, i)).collect();
+        let l = LippLike::build(&pairs);
+        // Dense inserts collide with residents repeatedly.
+        for i in 1..=999u64 {
+            for d in 1..=5u64 {
+                l.insert(i * 100 + d, d).unwrap();
+            }
+        }
+        for i in 1..=999u64 {
+            for d in 1..=5u64 {
+                assert_eq!(l.get(i * 100 + d), Some(d), "key {}", i * 100 + d);
+            }
+        }
+        assert_eq!(l.len(), 1_000 + 999 * 5);
+    }
+
+    #[test]
+    fn duplicate_handling_at_depth() {
+        let l = LippLike::build(&[(100, 1), (200, 2)]);
+        l.insert(101, 3).unwrap();
+        assert_eq!(l.insert(101, 4), Err(IndexError::DuplicateKey));
+        assert_eq!(l.insert(100, 9), Err(IndexError::DuplicateKey));
+        assert_eq!(l.get(101), Some(3));
+    }
+
+    #[test]
+    fn update_remove_roundtrip() {
+        let pairs: Vec<(u64, u64)> = (1..=500u64).map(|i| (i * 9, i)).collect();
+        let l = LippLike::build(&pairs);
+        l.insert(10, 1).unwrap();
+        l.update(10, 2).unwrap();
+        assert_eq!(l.get(10), Some(2));
+        assert_eq!(l.remove(10), Some(2));
+        assert_eq!(l.get(10), None);
+        assert_eq!(l.update(10, 3), Err(IndexError::KeyNotFound));
+        // Emptied slot reusable.
+        l.insert(10, 4).unwrap();
+        assert_eq!(l.get(10), Some(4));
+    }
+
+    #[test]
+    fn range_sorted_and_complete() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        for i in 1..2_000u64 {
+            m.insert(i * 17 % 30_000 + 1, i);
+        }
+        let pairs: Vec<(u64, u64)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+        let l = LippLike::build(&pairs);
+        let mut got = Vec::new();
+        l.range(50, 10_000, &mut got);
+        let want: Vec<(u64, u64)> = m.range(50..=10_000).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        use std::sync::Arc;
+        let pairs: Vec<(u64, u64)> = (1..=20_000u64).map(|i| (i * 16, i)).collect();
+        let l = Arc::new(LippLike::build(&pairs));
+        let mut hs = Vec::new();
+        for t in 0..8u64 {
+            let l = Arc::clone(&l);
+            hs.push(std::thread::spawn(move || {
+                for i in 0..3_000u64 {
+                    let k = (t * 3_000 + i) * 16 + 5;
+                    l.insert(k, k).unwrap();
+                    assert_eq!(l.get(k), Some(k));
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(l.len(), 20_000 + 24_000);
+        assert!(l.root.num_inserts.load(Ordering::Relaxed) >= 24_000);
+    }
+
+    #[test]
+    fn empty_build_bootstraps() {
+        let l = LippLike::build(&[]);
+        for k in 1..=5_000u64 {
+            l.insert(k * 3, k).unwrap();
+        }
+        for k in 1..=5_000u64 {
+            assert_eq!(l.get(k * 3), Some(k));
+        }
+    }
+}

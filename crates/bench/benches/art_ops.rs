@@ -1,0 +1,92 @@
+//! Criterion microbench: ART substrate costs — root lookups versus
+//! fast-pointer jumps (the per-op side of Fig 10(a)) and raw
+//! insert/remove cycling.
+
+use alt_index::{AltConfig, AltIndex};
+use art::Art;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datasets::{generate_pairs, Dataset};
+use std::hint::black_box;
+
+fn bench_art_root_vs_jump(c: &mut Criterion) {
+    // Build an ALT-index whose ART layer carries plenty of conflicts,
+    // then compare full lookups that hit the ART layer.
+    let pairs = generate_pairs(Dataset::Longlat, 400_000, 7);
+    let with_fp = AltIndex::bulk_load_default(&pairs);
+    let without_fp = AltIndex::bulk_load_with(
+        &pairs,
+        AltConfig {
+            fast_pointers: false,
+            ..Default::default()
+        },
+    );
+    let art_keys: Vec<u64> = pairs
+        .iter()
+        .map(|p| p.0)
+        .filter(|&k| with_fp.probe_art_hops(k).is_some())
+        .take(20_000)
+        .collect();
+    if art_keys.is_empty() {
+        eprintln!("no ART residents; skipping jump bench");
+        return;
+    }
+    let mut group = c.benchmark_group("alt_art_resident_get");
+    group.throughput(Throughput::Elements(art_keys.len() as u64));
+    group.bench_function("with_fast_pointers", |b| {
+        b.iter(|| {
+            let mut f = 0usize;
+            for &k in &art_keys {
+                f += with_fp.get(black_box(k)).is_some() as usize;
+            }
+            black_box(f)
+        })
+    });
+    group.bench_function("without_fast_pointers", |b| {
+        b.iter(|| {
+            let mut f = 0usize;
+            for &k in &art_keys {
+                f += without_fp.get(black_box(k)).is_some() as usize;
+            }
+            black_box(f)
+        })
+    });
+    group.finish();
+}
+
+fn bench_art_raw(c: &mut Criterion) {
+    let pairs = generate_pairs(Dataset::Osm, 200_000, 9);
+    let art = Art::new();
+    for &(k, v) in &pairs {
+        art.insert(k, v);
+    }
+    let probes: Vec<u64> = pairs.iter().step_by(7).map(|p| p.0).collect();
+    let mut group = c.benchmark_group("art_raw");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            let mut f = 0usize;
+            for &k in &probes {
+                f += art.get(black_box(k)).is_some() as usize;
+            }
+            black_box(f)
+        })
+    });
+    group.bench_function("insert_remove_cycle", |b| {
+        b.iter(|| {
+            for &k in probes.iter().take(10_000) {
+                art.insert(black_box(k ^ 1), 1);
+            }
+            for &k in probes.iter().take(10_000) {
+                art.remove(black_box(k ^ 1));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_art_root_vs_jump, bench_art_raw
+}
+criterion_main!(benches);

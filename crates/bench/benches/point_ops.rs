@@ -1,0 +1,73 @@
+//! Criterion microbench: single-threaded point-op latency for every
+//! index (the per-op cost underlying Figs 7-9).
+
+use bench::IndexKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::{generate_pairs, Dataset};
+use std::hint::black_box;
+
+fn bench_get(c: &mut Criterion) {
+    let n = 500_000;
+    let pairs = generate_pairs(Dataset::Osm, n, 42);
+    let probes: Vec<u64> = pairs.iter().step_by(11).map(|p| p.0).collect();
+    let mut group = c.benchmark_group("get_osm");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for kind in IndexKind::COMPETITORS {
+        let idx = kind.build(&pairs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for &k in probes {
+                        found += idx.get(black_box(k)).is_some() as usize;
+                    }
+                    black_box(found)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let n = 500_000;
+    let pairs = generate_pairs(Dataset::Osm, n, 42);
+    let bulk: Vec<(u64, u64)> = pairs.iter().step_by(2).copied().collect();
+    // Shuffled reserve (sorted-order inserts are an unrepresentative
+    // worst case for gapped arrays).
+    let mut reserve: Vec<u64> = pairs.iter().skip(1).step_by(2).map(|p| p.0).collect();
+    let mut s = 0x12345u64;
+    for i in (1..reserve.len()).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        reserve.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    let batch = 50_000.min(reserve.len());
+    let mut group = c.benchmark_group("insert_osm");
+    group.throughput(Throughput::Elements(batch as u64));
+    group.sample_size(10);
+    for kind in IndexKind::COMPETITORS {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
+            b.iter_with_setup(
+                || kind.build(&bulk),
+                |idx| {
+                    for &k in &reserve[..batch] {
+                        let _ = idx.insert(black_box(k), k);
+                    }
+                    idx
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_get, bench_insert
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion microbench: segmentation algorithm cost (the measurable side
+//! of Fig 4) — GPL's single-pass O(n) against ShrinkingCone and LPA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::{generate, Dataset};
+use learned::{gpl_segment, lpa_segment, shrinking_cone_segment};
+
+fn bench_segmentation(c: &mut Criterion) {
+    let n = 200_000;
+    let eps = 200.0;
+    let mut group = c.benchmark_group("segmentation");
+    group.throughput(Throughput::Elements(n as u64));
+    for ds in [Dataset::Libio, Dataset::Osm, Dataset::Longlat] {
+        let keys = generate(ds, n, 42);
+        group.bench_with_input(BenchmarkId::new("gpl", ds.name()), &keys, |b, keys| {
+            b.iter(|| gpl_segment(keys, eps))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("shrinking_cone", ds.name()),
+            &keys,
+            |b, keys| b.iter(|| shrinking_cone_segment(keys, eps)),
+        );
+        group.bench_with_input(BenchmarkId::new("lpa", ds.name()), &keys, |b, keys| {
+            b.iter(|| lpa_segment(keys, eps, 32))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_segmentation
+}
+criterion_main!(benches);

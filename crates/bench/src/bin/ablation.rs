@@ -1,0 +1,158 @@
+//! ALT-index ablations: quantify each design choice DESIGN.md calls out —
+//! the fast pointer buffer (§III-C), dynamic retraining (§III-F), the
+//! read write-back (Algorithm 2), and the gap budget.
+//!
+//! Generalizes the paper's §IV-H "inside analysis" into end-to-end
+//! throughput deltas. Parts:
+//!   a — fast pointers on/off (balanced workload)
+//!   b — retraining on/off (hot-write workload)
+//!   c — write-back on/off (remove-then-read workload)
+//!   d — gap factor sweep (balanced; throughput vs memory)
+
+use alt_index::{AltConfig, AltIndex};
+use bench::report::banner;
+use bench::{Args, Row, Setup};
+use index_api::ConcurrentIndex;
+use std::sync::Arc;
+use workloads::{run_workload, DriverConfig, Mix};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "ablation",
+        &format!(
+            "keys={}, threads={}, ops/thread={}",
+            args.keys, args.threads, args.ops
+        ),
+    );
+    let cfg = DriverConfig {
+        threads: args.threads,
+        ops_per_thread: args.ops,
+        latency_sample_every: 16,
+    };
+
+    if args.wants_part("a") {
+        for &ds in &args.datasets {
+            let setup = Setup::half(ds, args.keys, args.seed);
+            for (label, fp) in [("fast-ptr-on", true), ("fast-ptr-off", false)] {
+                let idx: Arc<dyn ConcurrentIndex> = Arc::new(AltIndex::bulk_load_with(
+                    &setup.bulk,
+                    AltConfig {
+                        fast_pointers: fp,
+                        ..Default::default()
+                    },
+                ));
+                let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
+                let r = run_workload(&idx, &plan, &cfg);
+                Row::new("abl-a")
+                    .index(label)
+                    .dataset(ds.name())
+                    .workload("balanced")
+                    .mops(r.mops)
+                    .p999(r.p999_us)
+                    .emit();
+            }
+        }
+    }
+
+    if args.wants_part("b") {
+        for &ds in &args.datasets {
+            let setup = Setup::hot_write(ds, args.keys, args.seed);
+            for (label, rt) in [("retrain-on", true), ("retrain-off", false)] {
+                let idx = Arc::new(AltIndex::bulk_load_with(
+                    &setup.bulk,
+                    AltConfig {
+                        retrain: rt,
+                        ..Default::default()
+                    },
+                ));
+                let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
+                let r = run_workload(&idx, &plan, &cfg);
+                let stats = idx.stats();
+                Row::new("abl-b")
+                    .index(label)
+                    .dataset(ds.name())
+                    .workload("hot-write")
+                    .mops(r.mops)
+                    .value("learned_share", stats.learned_share())
+                    .emit();
+            }
+        }
+    }
+
+    if args.wants_part("c") {
+        // Remove slot residents, then read ART residents repeatedly: the
+        // write-back should promote them and speed up re-reads.
+        for &ds in &args.datasets {
+            let setup = Setup::half(ds, args.keys, args.seed);
+            for (label, wb) in [("write-back-on", true), ("write-back-off", false)] {
+                let idx = AltIndex::bulk_load_with(
+                    &setup.bulk,
+                    AltConfig {
+                        write_back: wb,
+                        retrain: false,
+                        ..Default::default()
+                    },
+                );
+                // Insert conflicts, remove their slot neighbours, re-read.
+                let sample: Vec<u64> = setup
+                    .reserve
+                    .iter()
+                    .step_by(4)
+                    .copied()
+                    .take(50_000)
+                    .collect();
+                for &k in &sample {
+                    let _ = idx.insert(k, k);
+                }
+                for &(k, _) in setup.bulk.iter().step_by(4).take(50_000) {
+                    idx.remove(k);
+                }
+                let t0 = std::time::Instant::now();
+                let mut found = 0usize;
+                for _ in 0..4 {
+                    for &k in &sample {
+                        found += idx.get(k).is_some() as usize;
+                    }
+                }
+                let mops = (4 * sample.len()) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+                assert_eq!(found, 4 * sample.len());
+                Row::new("abl-c")
+                    .index(label)
+                    .dataset(ds.name())
+                    .workload("remove-reread")
+                    .mops(mops)
+                    .value("art_keys_after", idx.stats().keys_in_art as f64)
+                    .emit();
+            }
+        }
+    }
+
+    if args.wants_part("d") {
+        let ds = args
+            .datasets
+            .first()
+            .copied()
+            .unwrap_or(datasets::Dataset::Osm);
+        let setup = Setup::half(ds, args.keys, args.seed);
+        for gap in [1.0, 1.25, 1.5, 2.0, 3.0] {
+            let idx = Arc::new(AltIndex::bulk_load_with(
+                &setup.bulk,
+                AltConfig {
+                    gap_factor: gap,
+                    ..Default::default()
+                },
+            ));
+            let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
+            let r = run_workload(&idx, &plan, &cfg);
+            Row::new("abl-d")
+                .index("ALT-index")
+                .dataset(ds.name())
+                .workload("balanced")
+                .x(gap)
+                .mops(r.mops)
+                .value("mb", idx.memory_usage() as f64 / (1 << 20) as f64)
+                .emit();
+        }
+    }
+}

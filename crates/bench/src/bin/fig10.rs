@@ -1,0 +1,112 @@
+//! **Fig 10**: inside analysis of ALT-index.
+//!
+//! * (a) average ART lookup length with vs without the fast pointer
+//!   buffer (shorter with);
+//! * (b) fast pointer count with vs without the merge scheme (far fewer
+//!   with);
+//! * (c) data share of the learned layer vs ART per dataset (>50%
+//!   learned on real-world-like data, >80% on libio);
+//! * (d) bulk-load time of ALT-index vs ALEX+ vs LIPP+ (ALT fastest).
+
+use alt_index::AltIndex;
+use baselines::{AlexLike, LippLike};
+use bench::report::banner;
+use bench::{Args, Row, Setup};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    banner("fig10", &format!("keys={}", args.keys));
+
+    for &ds in &args.datasets {
+        let setup = Setup::half(ds, args.keys, args.seed);
+
+        if args.wants_part("a") || args.wants_part("b") || args.wants_part("c") {
+            let idx = AltIndex::bulk_load_default(&setup.bulk);
+            // Insert the reserve so ART carries runtime conflict data too.
+            for &k in &setup.reserve {
+                let _ = idx.insert(k, k ^ 0x5555);
+            }
+            let stats = idx.stats();
+
+            if args.wants_part("a") {
+                // Probe ART residents: average hops via the fast pointer
+                // vs from the root.
+                let mut jump_sum = 0u64;
+                let mut root_sum = 0u64;
+                let mut n = 0u64;
+                for &k in setup.reserve.iter().step_by(7) {
+                    if let Some(p) = idx.probe_art_hops(k) {
+                        if let Some(j) = p.jump_hops {
+                            jump_sum += j as u64;
+                            root_sum += p.root_hops as u64;
+                            n += 1;
+                        }
+                    }
+                    if n >= 50_000 {
+                        break;
+                    }
+                }
+                if n > 0 {
+                    Row::new("fig10a")
+                        .index("with-fast-ptr")
+                        .dataset(ds.name())
+                        .value("avg_lookup_len", jump_sum as f64 / n as f64)
+                        .emit();
+                    Row::new("fig10a")
+                        .index("without")
+                        .dataset(ds.name())
+                        .value("avg_lookup_len", root_sum as f64 / n as f64)
+                        .emit();
+                } else {
+                    println!("# fig10a {}: no ART residents to probe", ds.name());
+                }
+            }
+
+            if args.wants_part("b") {
+                Row::new("fig10b")
+                    .index("with-merge")
+                    .dataset(ds.name())
+                    .value("fast_pointers", stats.fast_pointers as f64)
+                    .emit();
+                Row::new("fig10b")
+                    .index("without")
+                    .dataset(ds.name())
+                    .value("fast_pointers", stats.fast_pointers_unmerged as f64)
+                    .emit();
+            }
+
+            if args.wants_part("c") {
+                Row::new("fig10c")
+                    .index("ALT-index")
+                    .dataset(ds.name())
+                    .value("learned_share", stats.learned_share())
+                    .emit();
+                Row::new("fig10c")
+                    .index("ALT-index")
+                    .dataset(ds.name())
+                    .value("keys_in_art", stats.keys_in_art as f64)
+                    .emit();
+            }
+        }
+
+        if args.wants_part("d") {
+            let t0 = Instant::now();
+            let _alt = AltIndex::bulk_load_default(&setup.bulk);
+            let alt_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let _alex = AlexLike::build(&setup.bulk);
+            let alex_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let _lipp = LippLike::build(&setup.bulk);
+            let lipp_s = t0.elapsed().as_secs_f64();
+            for (name, s) in [("ALT-index", alt_s), ("ALEX+", alex_s), ("LIPP+", lipp_s)] {
+                Row::new("fig10d")
+                    .index(name)
+                    .dataset(ds.name())
+                    .value("bulkload_s", s)
+                    .emit();
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! **Fig 3**: why existing learned indexes can't have both few models and
+//! small prediction errors.
+//!
+//! * Part (a): model counts of XIndex (RMI groups) and FINEdex (LPA
+//!   segments) versus ALT-index's GPL model count on the four datasets —
+//!   the paper reports millions vs thousands.
+//! * Part (b): read-only throughput of FINEdex and XIndex as the error
+//!   bound grows (peak near 32-64, then decline as the secondary-search
+//!   window dominates).
+
+use alt_index::AltIndex;
+use baselines::{FinedexLike, XIndexLike};
+use bench::report::banner;
+use bench::{Args, Row, Setup};
+use index_api::ConcurrentIndex;
+use std::sync::Arc;
+use workloads::{run_workload, DriverConfig, Mix};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "fig3",
+        &format!("keys={}, threads={}", args.keys, args.threads),
+    );
+
+    if args.wants_part("a") {
+        for &ds in &args.datasets {
+            let setup = Setup::new(ds, args.keys, 1.0, args.seed);
+            let fin = FinedexLike::build(&setup.bulk);
+            Row::new("fig3a")
+                .index("FINEdex")
+                .dataset(ds.name())
+                .value("models", fin.num_models() as f64)
+                .emit();
+            let x = XIndexLike::build(&setup.bulk);
+            Row::new("fig3a")
+                .index("XIndex")
+                .dataset(ds.name())
+                .value("models", x.num_groups() as f64)
+                .emit();
+            let alt = AltIndex::bulk_load_default(&setup.bulk);
+            Row::new("fig3a")
+                .index("ALT-index")
+                .dataset(ds.name())
+                .value("models", alt.stats().num_models as f64)
+                .emit();
+        }
+    }
+
+    if args.wants_part("b") {
+        // Sweep the error budget: FINEdex via its LPA ε, XIndex via group
+        // size (bigger groups ⇒ bigger model error).
+        let ds = args
+            .datasets
+            .first()
+            .copied()
+            .unwrap_or(datasets::Dataset::Osm);
+        let setup = Setup::half(ds, args.keys, args.seed);
+        let cfg = DriverConfig {
+            threads: args.threads,
+            ops_per_thread: args.ops,
+            latency_sample_every: 16,
+        };
+        for eps in [8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0] {
+            let fin: Arc<dyn ConcurrentIndex> =
+                Arc::new(FinedexLike::build_with_eps(&setup.bulk, eps));
+            let plan = setup.plan(Mix::READ_ONLY, args.theta, args.seed);
+            let r = run_workload(&fin, &plan, &cfg);
+            Row::new("fig3b")
+                .index("FINEdex")
+                .dataset(ds.name())
+                .workload("read-only")
+                .x(eps)
+                .mops(r.mops)
+                .emit();
+
+            let group = (eps * 24.0) as usize; // err grows ~linearly in group size
+            let xi: Arc<dyn ConcurrentIndex> =
+                Arc::new(XIndexLike::build_with_group(&setup.bulk, group));
+            let r = run_workload(&xi, &plan, &cfg);
+            Row::new("fig3b")
+                .index("XIndex")
+                .dataset(ds.name())
+                .workload("read-only")
+                .x(eps)
+                .mops(r.mops)
+                .emit();
+        }
+    }
+}

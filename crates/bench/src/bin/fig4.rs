@@ -1,0 +1,72 @@
+//! **Fig 4**: segmentation algorithm comparison — GPL (ALT-index) versus
+//! ShrinkingCone (FITing-tree) versus LPA (FINEdex).
+//!
+//! The figure itself is a schematic; the measurable claims behind it are
+//! (1) GPL segments in a single O(n) pass with at most one slope-pair
+//! update per point, (2) all three respect the error bound, and (3) the
+//! algorithms trade segment count against segmentation work. This binary
+//! reports segment counts, build times, and the verified max error per
+//! algorithm per dataset.
+
+use bench::report::banner;
+use bench::{Args, Row, Setup};
+use learned::{gpl_segment, lpa_segment, optimal_segment_count, shrinking_cone_segment};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let eps = 64.0;
+    banner("fig4", &format!("keys={}, eps={eps}", args.keys));
+    for &ds in &args.datasets {
+        let setup = Setup::new(ds, args.keys, 1.0, args.seed);
+        let keys: Vec<u64> = setup.bulk.iter().map(|p| p.0).collect();
+
+        type Segmenter = Box<dyn Fn(&[u64]) -> Vec<learned::Segment>>;
+        let algos: [(&str, Segmenter); 3] = [
+            ("GPL", Box::new(move |k: &[u64]| gpl_segment(k, eps))),
+            (
+                "ShrinkingCone",
+                Box::new(move |k: &[u64]| shrinking_cone_segment(k, eps)),
+            ),
+            ("LPA", Box::new(move |k: &[u64]| lpa_segment(k, eps, 32))),
+        ];
+        for (name, f) in &algos {
+            let t0 = Instant::now();
+            let segs = f(&keys);
+            let secs = t0.elapsed().as_secs_f64();
+            let max_err = segs
+                .iter()
+                .map(|s| s.max_error(&keys))
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_err <= eps + 1e-6,
+                "{name} violated its bound: {max_err}"
+            );
+            Row::new("fig4")
+                .index(name)
+                .dataset(ds.name())
+                .value("segments", segs.len() as f64)
+                .emit();
+            Row::new("fig4")
+                .index(name)
+                .dataset(ds.name())
+                .value("build_ms", secs * 1e3)
+                .emit();
+            Row::new("fig4")
+                .index(name)
+                .dataset(ds.name())
+                .value("max_err", max_err)
+                .emit();
+        }
+        // The ε-optimal lower bound (reference segmenter, not a
+        // production path): how close do the O(n) algorithms come?
+        if keys.len() <= 500_000 {
+            let opt = optimal_segment_count(&keys, eps);
+            Row::new("fig4")
+                .index("optimal")
+                .dataset(ds.name())
+                .value("segments", opt as f64)
+                .emit();
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! **Fig 6**: the error bound's effect on ALT-index.
+//!
+//! * Part (a): ε versus the number of GPL models — the paper's inverse
+//!   proportionality `N_total = δ_h · ε · N_model` (Eq. 1).
+//! * Part (b): ε versus read-only throughput — rises, peaks, then slowly
+//!   declines through the "stable area" as conflict data shifts into ART
+//!   (Eq. 4).
+
+use alt_index::{AltConfig, AltIndex};
+use bench::report::banner;
+use bench::{Args, Row, Setup};
+use index_api::ConcurrentIndex;
+use std::sync::Arc;
+use workloads::{run_workload, DriverConfig, Mix};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "fig6",
+        &format!("keys={}, threads={}", args.keys, args.threads),
+    );
+    let sweep: Vec<f64> = [16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0].to_vec();
+    for &ds in &args.datasets {
+        let setup = Setup::half(ds, args.keys, args.seed);
+        for &eps in &sweep {
+            let idx = AltIndex::bulk_load_with(
+                &setup.bulk,
+                AltConfig {
+                    epsilon: Some(eps),
+                    ..Default::default()
+                },
+            );
+            let stats = idx.stats();
+            if args.wants_part("a") {
+                Row::new("fig6a")
+                    .index("ALT-index")
+                    .dataset(ds.name())
+                    .x(eps)
+                    .value("models", stats.num_models as f64)
+                    .emit();
+            }
+            if args.wants_part("b") {
+                let idx: Arc<dyn ConcurrentIndex> = Arc::new(idx);
+                let plan = setup.plan(Mix::READ_ONLY, args.theta, args.seed);
+                let cfg = DriverConfig {
+                    threads: args.threads,
+                    ops_per_thread: args.ops,
+                    latency_sample_every: 16,
+                };
+                let r = run_workload(&idx, &plan, &cfg);
+                Row::new("fig6b")
+                    .index("ALT-index")
+                    .dataset(ds.name())
+                    .workload("read-only")
+                    .x(eps)
+                    .mops(r.mops)
+                    .emit();
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! **Fig 7**: throughput and P99.9 tail latency under the five point-op
+//! workloads (read-only → write-only) for all six indexes on the four
+//! datasets.
+//!
+//! Paper shape: ALT-index leads or ties everywhere; the gap widens as the
+//! write share grows; ALEX+'s P99.9 degrades on hard datasets; LIPP+
+//! trails under writes.
+//!
+//! Parts a-e select the workload (a = read-only … e = write-only).
+
+use bench::report::banner;
+use bench::{Args, IndexKind, Row, Setup};
+use workloads::{run_workload, DriverConfig, Mix};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "fig7",
+        &format!(
+            "keys={}, threads={}, ops/thread={}, theta={}",
+            args.keys, args.threads, args.ops, args.theta
+        ),
+    );
+    let parts = ["a", "b", "c", "d", "e"];
+    for (mix, part) in Mix::figure7().into_iter().zip(parts) {
+        if !args.wants_part(part) {
+            continue;
+        }
+        for &ds in &args.datasets {
+            let setup = Setup::half(ds, args.keys, args.seed);
+            for kind in IndexKind::COMPETITORS {
+                if !args.wants_index(kind.name()) {
+                    continue;
+                }
+                let idx = kind.build(&setup.bulk);
+                let plan = setup.plan(mix, args.theta, args.seed);
+                let cfg = DriverConfig {
+                    threads: args.threads,
+                    ops_per_thread: args.ops,
+                    latency_sample_every: 8,
+                };
+                let r = run_workload(&idx, &plan, &cfg);
+                Row::new(&format!("fig7{part}"))
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .workload(mix.label())
+                    .mops(r.mops)
+                    .p999(r.p999_us)
+                    .emit();
+            }
+        }
+    }
+}

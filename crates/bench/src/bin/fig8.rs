@@ -1,0 +1,150 @@
+//! **Fig 8**: memory overhead (a), hot-write (b), short scans (c),
+//! init-table-size sweep (d), and skewed reads (e).
+//!
+//! Paper shape: (a) LIPP+ uses the most memory, ALEX+ the least,
+//! ALT-index beats the delta-buffer designs; (b) ALT-index wins hot
+//! writes thanks to retraining, XIndex stays stable via background
+//! merges; (c) ALEX+ scans fastest, ALT-index is competitive with the
+//! rest; (d) ALT-index degrades least as the init ratio grows; (e)
+//! everyone speeds up with skew, ALT-index stays on top.
+
+use bench::report::banner;
+use bench::{Args, IndexKind, Row, Setup};
+use datasets::Dataset;
+use workloads::{run_workload, DriverConfig, Mix, WorkloadPlan};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "fig8",
+        &format!(
+            "keys={}, threads={}, ops/thread={}",
+            args.keys, args.threads, args.ops
+        ),
+    );
+    let cfg = DriverConfig {
+        threads: args.threads,
+        ops_per_thread: args.ops,
+        latency_sample_every: 16,
+    };
+
+    // (a) Memory overhead: bulk-load 50%, insert the rest, measure bytes.
+    if args.wants_part("a") {
+        for &ds in &args.datasets {
+            let setup = Setup::half(ds, args.keys, args.seed);
+            for kind in IndexKind::COMPETITORS {
+                if !args.wants_index(kind.name()) {
+                    continue;
+                }
+                let idx = kind.build(&setup.bulk);
+                for &k in &setup.reserve {
+                    let _ = idx.insert(k, k ^ 0x5555);
+                }
+                Row::new("fig8a")
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .value("mb", idx.memory_usage() as f64 / (1 << 20) as f64)
+                    .emit();
+            }
+        }
+    }
+
+    // (b) Hot write: consecutive reserved keys hammering one region.
+    if args.wants_part("b") {
+        for &ds in &args.datasets {
+            let setup = Setup::hot_write(ds, args.keys, args.seed);
+            for kind in IndexKind::COMPETITORS {
+                if !args.wants_index(kind.name()) {
+                    continue;
+                }
+                let idx = kind.build(&setup.bulk);
+                let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
+                let r = run_workload(&idx, &plan, &cfg);
+                Row::new("fig8b")
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .workload("hot-write")
+                    .mops(r.mops)
+                    .p999(r.p999_us)
+                    .emit();
+            }
+        }
+    }
+
+    // (c) Scan workload: 100-key scans from zipfian start keys.
+    if args.wants_part("c") {
+        for &ds in &args.datasets {
+            let setup = Setup::half(ds, args.keys, args.seed);
+            for kind in IndexKind::COMPETITORS {
+                if !args.wants_index(kind.name()) {
+                    continue;
+                }
+                let idx = kind.build(&setup.bulk);
+                let plan = setup.plan(Mix::SCAN, args.theta, args.seed);
+                let scan_cfg = DriverConfig {
+                    ops_per_thread: (args.ops / 20).max(1_000),
+                    ..cfg.clone()
+                };
+                let r = run_workload(&idx, &plan, &scan_cfg);
+                Row::new("fig8c")
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .workload("scan100")
+                    .mops(r.mops)
+                    .emit();
+            }
+        }
+    }
+
+    // (d) Init table size: read throughput after loading 25/50/75/100%.
+    if args.wants_part("d") {
+        let ds = Dataset::Osm;
+        for ratio in [0.25, 0.5, 0.75, 1.0] {
+            let setup = Setup::new(ds, args.keys, ratio, args.seed);
+            for kind in IndexKind::COMPETITORS {
+                if !args.wants_index(kind.name()) {
+                    continue;
+                }
+                let idx = kind.build(&setup.bulk);
+                let plan = setup.plan(Mix::READ_ONLY, args.theta, args.seed);
+                let r = run_workload(&idx, &plan, &cfg);
+                Row::new("fig8d")
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .workload("read-only")
+                    .x(ratio)
+                    .mops(r.mops)
+                    .emit();
+            }
+        }
+    }
+
+    // (e) Skew: balanced workload on osm with varying zipf θ.
+    if args.wants_part("e") {
+        let ds = Dataset::Osm;
+        let setup = Setup::half(ds, args.keys, args.seed);
+        for theta in [0.0, 0.5, 0.8, 0.9, 0.99] {
+            for kind in IndexKind::COMPETITORS {
+                if !args.wants_index(kind.name()) {
+                    continue;
+                }
+                let idx = kind.build(&setup.bulk);
+                let plan = WorkloadPlan::new(
+                    setup.loaded_keys(),
+                    setup.reserve.clone(),
+                    Mix::BALANCED,
+                    theta,
+                    args.seed,
+                );
+                let r = run_workload(&idx, &plan, &cfg);
+                Row::new("fig8e")
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .workload("balanced")
+                    .x(theta)
+                    .mops(r.mops)
+                    .emit();
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! **Fig 9**: scalability — balanced workload, thread count swept
+//! 1→32, all indexes, all datasets.
+//!
+//! Paper shape: ALT-index scales best; LIPP+ plateaus early (statistics
+//! counters); ALEX+'s 16→32 step flattens (write amplification);
+//! FINEdex/XIndex scale but from a lower base (prediction error).
+//!
+//! Note: on hosts with fewer cores than the sweep, points beyond the core
+//! count measure oversubscription rather than parallel speed-up; the
+//! relative ordering still reflects structural contention.
+
+use bench::report::banner;
+use bench::{Args, IndexKind, Row, Setup};
+use workloads::{run_workload, DriverConfig, Mix};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "fig9",
+        &format!("keys={}, ops/thread={}, balanced", args.keys, args.ops),
+    );
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sweep: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&t| t <= args.threads.max(1) * 8 && t <= 32)
+        .collect();
+    println!("# host parallelism = {host}");
+    for &ds in &args.datasets {
+        let setup = Setup::half(ds, args.keys, args.seed);
+        for kind in IndexKind::COMPETITORS {
+            if !args.wants_index(kind.name()) {
+                continue;
+            }
+            for &threads in &sweep {
+                let idx = kind.build(&setup.bulk);
+                let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
+                let cfg = DriverConfig {
+                    threads,
+                    // Keep total work roughly constant across the sweep.
+                    ops_per_thread: (args.ops * 4 / threads).max(10_000),
+                    latency_sample_every: 16,
+                };
+                let r = run_workload(&idx, &plan, &cfg);
+                Row::new("fig9")
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .workload("balanced")
+                    .x(threads as f64)
+                    .mops(r.mops)
+                    .emit();
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! **Table I**: throughput and P99.9 latency of the concurrent updatable
+//! learned indexes and ART on `libio` and `osm` under the
+//! read-write-balanced workload.
+//!
+//! Paper shape to reproduce (200M keys, 32 threads): ALEX+ fastest on
+//! libio but with a large P99.9 blow-up on osm (data shifting); LIPP+
+//! slowest overall (statistics counters); FINEdex/XIndex mid-pack; ART
+//! high throughput on both.
+use bench::report::banner;
+use bench::{Args, IndexKind, Row, Setup};
+use datasets::Dataset;
+use workloads::{run_workload, DriverConfig, Mix};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "table1",
+        &format!(
+            "balanced 50/50, keys={}, threads={}, ops/thread={}",
+            args.keys, args.threads, args.ops
+        ),
+    );
+    for ds in [Dataset::Libio, Dataset::Osm] {
+        let setup = Setup::half(ds, args.keys, args.seed);
+        for kind in IndexKind::COMPETITORS {
+            if !args.wants_index(kind.name()) {
+                continue;
+            }
+            let idx = kind.build(&setup.bulk);
+            let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
+            let cfg = DriverConfig {
+                threads: args.threads,
+                ops_per_thread: args.ops,
+                latency_sample_every: 8,
+            };
+            let r = run_workload(&idx, &plan, &cfg);
+            Row::new("table1")
+                .index(kind.name())
+                .dataset(ds.name())
+                .workload("balanced")
+                .mops(r.mops)
+                .p999(r.p999_us)
+                .emit();
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! General-purpose workload runner: any index, dataset, mix, skew, and
+//! thread count from the command line — the free-form companion to the
+//! fixed per-figure binaries.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ycsb -- \
+//!     --keys 2m --threads 8 --ops 500k --datasets osm \
+//!     --indexes alt-index,art --mix 80,20,0 --theta 0.9
+//! ```
+
+use bench::report::banner;
+use bench::{Args, IndexKind, Row, Setup};
+use workloads::{run_workload, DriverConfig, Mix};
+
+fn main() {
+    // Split off the extra --mix flag before the common parser.
+    let mut mix = Mix::BALANCED;
+    let mut rest = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        if a == "--mix" {
+            let v = argv.next().expect("--mix r,i,s");
+            let parts: Vec<u8> = v
+                .split(',')
+                .map(|p| p.parse().expect("mix percentage"))
+                .collect();
+            assert_eq!(parts.len(), 3, "--mix read,insert,scan");
+            mix = Mix::new(parts[0], parts[1], parts[2]);
+        } else {
+            rest.push(a);
+        }
+    }
+    let args = Args::parse_from(rest);
+    banner(
+        "ycsb",
+        &format!(
+            "mix={}/{}/{} keys={} threads={} ops/thread={} theta={}",
+            mix.read_pct,
+            mix.insert_pct,
+            mix.scan_pct,
+            args.keys,
+            args.threads,
+            args.ops,
+            args.theta
+        ),
+    );
+    let kinds = [
+        IndexKind::Alt,
+        IndexKind::AltNoFastPtr,
+        IndexKind::AltNoRetrain,
+        IndexKind::Art,
+        IndexKind::Alex,
+        IndexKind::Lipp,
+        IndexKind::XIndex,
+        IndexKind::Finedex,
+    ];
+    for &ds in &args.datasets {
+        let setup = Setup::half(ds, args.keys, args.seed);
+        for kind in kinds {
+            if !args.wants_index(kind.name()) {
+                continue;
+            }
+            let idx = kind.build(&setup.bulk);
+            let plan = setup.plan(mix, args.theta, args.seed);
+            let cfg = DriverConfig {
+                threads: args.threads,
+                ops_per_thread: args.ops,
+                latency_sample_every: 8,
+            };
+            let r = run_workload(&idx, &plan, &cfg);
+            Row::new("ycsb")
+                .index(kind.name())
+                .dataset(ds.name())
+                .workload(mix.label())
+                .mops(r.mops)
+                .p999(r.p999_us)
+                .value(
+                    "read_hit_rate",
+                    if r.reads > 0 {
+                        r.read_hits as f64 / r.reads as f64
+                    } else {
+                        1.0
+                    },
+                )
+                .emit();
+        }
+    }
+}

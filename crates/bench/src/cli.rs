@@ -1,0 +1,166 @@
+//! A tiny flag parser for the experiment binaries (keeps the workspace
+//! free of a CLI dependency).
+
+use datasets::Dataset;
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Total dataset size (the evaluation bulk-loads 50% of it unless an
+    /// experiment says otherwise).
+    pub keys: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops: usize,
+    /// Datasets to run.
+    pub datasets: Vec<Dataset>,
+    /// Sub-figure selector (`a`..`e`), empty = all.
+    pub part: String,
+    /// Zipfian skew for reads.
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Restrict to these index names (empty = all).
+    pub indexes: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            keys: 2_000_000,
+            threads: default_threads(),
+            ops: 200_000,
+            datasets: datasets::ALL_DATASETS.to_vec(),
+            part: String::new(),
+            theta: 0.99,
+            seed: 42,
+            indexes: Vec::new(),
+        }
+    }
+}
+
+/// The paper uses 32 threads; default to what the host can actually run.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(32))
+        .unwrap_or(4)
+}
+
+impl Args {
+    /// Parse `std::env::args()`, panicking with usage on bad input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument iterator.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut val = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--keys" => out.keys = parse_human(&val()),
+                "--threads" => out.threads = val().parse().expect("--threads"),
+                "--ops" => out.ops = parse_human(&val()),
+                "--part" => out.part = val().to_ascii_lowercase(),
+                "--theta" => out.theta = val().parse().expect("--theta"),
+                "--seed" => out.seed = val().parse().expect("--seed"),
+                "--datasets" => {
+                    out.datasets = val()
+                        .split(',')
+                        .map(|s| Dataset::parse(s).unwrap_or_else(|| panic!("unknown dataset {s}")))
+                        .collect();
+                }
+                "--indexes" => {
+                    out.indexes = val().split(',').map(|s| s.to_string()).collect();
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --keys N --threads N --ops N --datasets a,b \
+                         --part a|b|c|d|e --theta F --seed N --indexes x,y"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Whether sub-part `p` was selected (empty selector = run all).
+    pub fn wants_part(&self, p: &str) -> bool {
+        self.part.is_empty() || self.part == p
+    }
+
+    /// Whether index `name` was selected (empty selector = all).
+    pub fn wants_index(&self, name: &str) -> bool {
+        self.indexes.is_empty() || self.indexes.iter().any(|i| i.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Parse `2000000`, `2_000_000`, `2m`, `500k`.
+pub fn parse_human(s: &str) -> usize {
+    let s = s.replace('_', "").to_ascii_lowercase();
+    let (num, mult) = if let Some(p) = s.strip_suffix('m') {
+        (p.to_string(), 1_000_000)
+    } else if let Some(p) = s.strip_suffix('k') {
+        (p.to_string(), 1_000)
+    } else {
+        (s, 1)
+    };
+    let f: f64 = num.parse().expect("numeric size");
+    (f * mult as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse(&[]);
+        assert_eq!(a.keys, 2_000_000);
+        assert_eq!(a.datasets.len(), 4);
+        assert!(a.wants_part("a"));
+        assert!(a.wants_index("ALT-index"));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&[
+            "--keys",
+            "500k",
+            "--threads",
+            "8",
+            "--part",
+            "B",
+            "--datasets",
+            "osm,fb",
+            "--indexes",
+            "alt-index,art",
+        ]);
+        assert_eq!(a.keys, 500_000);
+        assert_eq!(a.threads, 8);
+        assert!(a.wants_part("b"));
+        assert!(!a.wants_part("a"));
+        assert_eq!(a.datasets, vec![Dataset::Osm, Dataset::Fb]);
+        assert!(a.wants_index("ART"));
+        assert!(!a.wants_index("XIndex"));
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(parse_human("2m"), 2_000_000);
+        assert_eq!(parse_human("1.5M"), 1_500_000);
+        assert_eq!(parse_human("250k"), 250_000);
+        assert_eq!(parse_human("1_000"), 1_000);
+    }
+}

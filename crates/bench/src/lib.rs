@@ -1,0 +1,21 @@
+//! The experiment harness: shared setup, the index registry, and report
+//! formatting used by the per-table/per-figure binaries (`table1`,
+//! `fig3`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`).
+//!
+//! Every binary regenerates the rows/series of one table or figure of the
+//! ALT-index paper. Scale defaults are laptop-sized (2M keys instead of
+//! the paper's 200M, thread count capped by the host); pass `--keys`,
+//! `--threads`, `--ops` to change them. See `EXPERIMENTS.md` for the
+//! recorded paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod indexes;
+pub mod report;
+pub mod setup;
+
+pub use cli::Args;
+pub use indexes::IndexKind;
+pub use report::Row;
+pub use setup::Setup;

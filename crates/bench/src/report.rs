@@ -1,0 +1,144 @@
+//! Result rows: aligned console tables plus JSON lines for downstream
+//! plotting.
+
+use serde::Serialize;
+
+/// One measurement row (superset of what each experiment prints).
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment id, e.g. `fig7a`.
+    pub experiment: String,
+    /// Index label.
+    pub index: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Workload label or sweep parameter name.
+    pub workload: String,
+    /// Sweep x-value (threads, ε, θ, init ratio …), if any.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub x: Option<f64>,
+    /// Throughput, million ops/sec.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub mops: Option<f64>,
+    /// P99.9 latency, µs.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub p999_us: Option<f64>,
+    /// Generic metric (model count, pointer count, bytes, share…).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub value: Option<f64>,
+    /// What `value` measures.
+    #[serde(skip_serializing_if = "String::is_empty", default)]
+    pub metric: String,
+}
+
+impl Row {
+    /// A blank row for `experiment`.
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            index: String::new(),
+            dataset: String::new(),
+            workload: String::new(),
+            x: None,
+            mops: None,
+            p999_us: None,
+            value: None,
+            metric: String::new(),
+        }
+    }
+
+    /// Builder-style setters.
+    pub fn index(mut self, v: &str) -> Self {
+        self.index = v.to_string();
+        self
+    }
+    /// Set the dataset label.
+    pub fn dataset(mut self, v: &str) -> Self {
+        self.dataset = v.to_string();
+        self
+    }
+    /// Set the workload label.
+    pub fn workload(mut self, v: &str) -> Self {
+        self.workload = v.to_string();
+        self
+    }
+    /// Set the sweep x-value.
+    pub fn x(mut self, v: f64) -> Self {
+        self.x = Some(v);
+        self
+    }
+    /// Set throughput.
+    pub fn mops(mut self, v: f64) -> Self {
+        self.mops = Some(v);
+        self
+    }
+    /// Set tail latency.
+    pub fn p999(mut self, v: f64) -> Self {
+        self.p999_us = Some(v);
+        self
+    }
+    /// Set a generic metric value.
+    pub fn value(mut self, metric: &str, v: f64) -> Self {
+        self.metric = metric.to_string();
+        self.value = Some(v);
+        self
+    }
+
+    /// Print as an aligned console line and a trailing JSON line (prefixed
+    /// `#json ` so table parsing stays trivial).
+    pub fn emit(&self) {
+        let mut line = format!(
+            "{:<8} {:<12} {:<8} {:<12}",
+            self.experiment, self.index, self.dataset, self.workload
+        );
+        if let Some(x) = self.x {
+            line += &format!(" x={x:<10.3}");
+        }
+        if let Some(m) = self.mops {
+            line += &format!(" {m:>9.3} Mops/s");
+        }
+        if let Some(p) = self.p999_us {
+            line += &format!(" p99.9={p:>9.2}us");
+        }
+        if let Some(v) = self.value {
+            line += &format!(" {}={v:.4}", self.metric);
+        }
+        println!("{line}");
+        println!(
+            "#json {}",
+            serde_json::to_string(self).expect("row serializes")
+        );
+    }
+}
+
+/// Print an experiment banner with the run configuration.
+pub fn banner(name: &str, detail: &str) {
+    println!("== {name}: {detail}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_serializes_compactly() {
+        let r = Row::new("fig7a")
+            .index("ALT-index")
+            .dataset("osm")
+            .workload("read-only")
+            .mops(12.5)
+            .p999(3.2);
+        let js = serde_json::to_string(&r).unwrap();
+        assert!(js.contains("\"experiment\":\"fig7a\""));
+        assert!(js.contains("\"mops\":12.5"));
+        assert!(!js.contains("\"x\""), "unset fields omitted: {js}");
+    }
+
+    #[test]
+    fn value_rows_carry_metric_names() {
+        let r = Row::new("fig10b").value("fast_pointers", 42.0);
+        let js = serde_json::to_string(&r).unwrap();
+        assert!(js.contains("\"metric\":\"fast_pointers\""));
+        assert!(js.contains("\"value\":42.0"));
+    }
+}

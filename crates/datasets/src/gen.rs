@@ -1,0 +1,236 @@
+//! The four dataset generators (see the crate docs for the substitution
+//! rationale).
+
+use crate::rng::SplitMix64;
+
+/// The four evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Near-linear auto-increment repository IDs with bursty gaps
+    /// (libraries.io character): very learnable.
+    Libio,
+    /// Heavy-tailed ID blocks (Facebook user-ID character): medium.
+    Fb,
+    /// Uniform samples of the 64-bit space (OpenStreetMap cell-ID
+    /// character): medium-low learnability, deep ART.
+    Osm,
+    /// Clustered multiplicative longitude/latitude transform: the least
+    /// linear of the four.
+    Longlat,
+}
+
+/// All datasets in the paper's presentation order.
+pub const ALL_DATASETS: [Dataset; 4] =
+    [Dataset::Fb, Dataset::Libio, Dataset::Osm, Dataset::Longlat];
+
+impl Dataset {
+    /// Parse a dataset name (`fb`, `libio`, `osm`, `longlat`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fb" => Some(Self::Fb),
+            "libio" => Some(Self::Libio),
+            "osm" => Some(Self::Osm),
+            "longlat" => Some(Self::Longlat),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Fb => "fb",
+            Self::Libio => "libio",
+            Self::Osm => "osm",
+            Self::Longlat => "longlat",
+        }
+    }
+}
+
+/// Generate exactly `n` sorted, unique, non-zero keys for `dataset`.
+/// Deterministic in `(dataset, n, seed)`.
+pub fn generate(dataset: Dataset, n: usize, seed: u64) -> Vec<u64> {
+    let mut keys = match dataset {
+        Dataset::Libio => gen_libio(n, seed),
+        Dataset::Fb => gen_fb(n, seed),
+        Dataset::Osm => gen_osm(n, seed),
+        Dataset::Longlat => gen_longlat(n, seed),
+    };
+    keys.sort_unstable();
+    keys.dedup();
+    keys.retain(|&k| k != 0);
+    // Top up in the (rare) case dedup lost entries.
+    let mut rng = SplitMix64::new(seed ^ 0xD1F3_5A1E);
+    while keys.len() < n {
+        let extra = rng.next_u64() | 1;
+        if let Err(pos) = keys.binary_search(&extra) {
+            keys.insert(pos, extra);
+        }
+    }
+    keys.truncate(n);
+    keys
+}
+
+/// Generate `(key, value)` pairs where the value is a deterministic
+/// function of the key (handy for verification: `value == key ^ mask`).
+pub fn generate_pairs(dataset: Dataset, n: usize, seed: u64) -> Vec<(u64, u64)> {
+    generate(dataset, n, seed)
+        .into_iter()
+        .map(|k| (k, value_for(k)))
+        .collect()
+}
+
+/// The deterministic value the generators associate with a key.
+#[inline]
+pub fn value_for(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Near-linear: increments of 1 with occasional bursts of skipped IDs
+/// (deleted repositories), plus rare large jumps. Over 80% of keys should
+/// be absorbable by the learned layer (Fig 10(c)).
+fn gen_libio(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut keys = Vec::with_capacity(n);
+    let mut id: u64 = 1_000_000;
+    for _ in 0..n {
+        let r = rng.next_f64();
+        id += if r < 0.999 {
+            3
+        } else if r < 0.999_95 {
+            4 + rng.next_below(24)
+        } else {
+            // Rare burst: a deleted block of IDs.
+            10_000 + rng.next_below(100_000)
+        };
+        keys.push(id);
+    }
+    keys
+}
+
+/// Heavy-tailed: lognormal gaps concentrate most keys in dense blocks
+/// with occasional enormous jumps across the ID space.
+fn gen_fb(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut keys = Vec::with_capacity(n);
+    let mut id: u64 = 10_000;
+    for _ in 0..n {
+        // gap = exp(N(mu=2.0, sigma=2.4)): median ~7, tail into millions.
+        let g = (2.0 + 2.4 * rng.next_gaussian()).exp();
+        let gap = (g as u64).clamp(1, 1 << 40);
+        id = id.saturating_add(gap);
+        keys.push(id);
+    }
+    keys
+}
+
+/// Uniform samples of the full 64-bit space.
+fn gen_osm(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64() | 1).collect()
+}
+
+/// Clustered: a mixture of Gaussian "cities" over a multiplicatively
+/// transformed coordinate space — locally dense, globally wild.
+fn gen_longlat(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let clusters = 512usize;
+    let centers: Vec<(f64, f64)> = (0..clusters)
+        .map(|_| {
+            // Centers uniform over the transformed space; spread exponent
+            // varies per cluster so densities differ wildly.
+            (rng.next_f64(), (-3.0 + 4.0 * rng.next_f64()).exp())
+        })
+        .collect();
+    let scale = (1u64 << 62) as f64;
+    (0..n)
+        .map(|_| {
+            let (c, s) = centers[rng.next_below(clusters as u64) as usize];
+            let x = c + rng.next_gaussian() * s * 1e-3;
+            let x = x.rem_euclid(1.0);
+            // Multiplicative transform (the paper combines longitude and
+            // latitude multiplicatively): squash then stretch.
+            let t = x * x * (3.0 - 2.0 * x); // smoothstep keeps clusters
+            (t * scale) as u64 + 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_sorted_unique_nonzero() {
+        for ds in ALL_DATASETS {
+            let keys = generate(ds, 50_000, 7);
+            assert_eq!(keys.len(), 50_000, "{}", ds.name());
+            assert!(keys.iter().all(|&k| k != 0));
+            for w in keys.windows(2) {
+                assert!(w[0] < w[1], "{} not strictly sorted", ds.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for ds in ALL_DATASETS {
+            assert_eq!(generate(ds, 10_000, 3), generate(ds, 10_000, 3));
+            assert_ne!(generate(ds, 10_000, 3), generate(ds, 10_000, 4));
+        }
+    }
+
+    #[test]
+    fn learnability_ordering_matches_the_paper() {
+        // GPL segment counts at a fixed epsilon should order the datasets
+        // by difficulty: libio (near-linear) needs far fewer models than
+        // longlat (clustered).
+        let n = 200_000;
+        let count = |ds| learned::gpl_segment(&generate(ds, n, 5), 200.0).len();
+        let libio = count(Dataset::Libio);
+        let longlat = count(Dataset::Longlat);
+        let osm = count(Dataset::Osm);
+        assert!(
+            libio < osm && libio < longlat,
+            "libio={libio} osm={osm} longlat={longlat}"
+        );
+    }
+
+    #[test]
+    fn osm_spreads_over_the_key_space() {
+        let keys = generate(Dataset::Osm, 100_000, 1);
+        // Top byte should take many distinct values.
+        let mut tops: Vec<u8> = keys.iter().map(|k| (k >> 56) as u8).collect();
+        tops.dedup();
+        assert!(tops.len() > 200, "top-byte spread {}", tops.len());
+    }
+
+    #[test]
+    fn libio_is_dense() {
+        let keys = generate(Dataset::Libio, 100_000, 1);
+        let span = keys[keys.len() - 1] - keys[0];
+        // Average gap stays small (bursts are rare).
+        assert!(
+            span / keys.len() as u64 <= 64,
+            "avg gap {}",
+            span / keys.len() as u64
+        );
+    }
+
+    #[test]
+    fn parse_and_names_roundtrip() {
+        for ds in ALL_DATASETS {
+            assert_eq!(Dataset::parse(ds.name()), Some(ds));
+        }
+        assert_eq!(Dataset::parse("OSM"), Some(Dataset::Osm));
+        assert_eq!(Dataset::parse("nope"), None);
+    }
+
+    #[test]
+    fn values_are_nonzero_and_deterministic() {
+        let pairs = generate_pairs(Dataset::Fb, 1000, 2);
+        for &(k, v) in &pairs {
+            assert_eq!(v, value_for(k));
+            assert_ne!(v, 0);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The Learning Probe Algorithm (LPA) of FINEdex (Li et al., VLDB 2021),
+//! reimplemented for the Fig 4 algorithm comparison and the FINEdex
+//! baseline.
+//!
+//! LPA trains a least-squares model over a fixed-size *probe* of keys and
+//! then extends the segment greedily while each following key's prediction
+//! error stays within ε. The slope is **not** adapted while extending, so —
+//! as the ALT-index paper observes — LPA "cannot make segments efficiently
+//! when it comes to too many data points with small prediction errors": a
+//! slightly-off probe slope accumulates error and forces a cut where GPL's
+//! widening cone would have absorbed the drift. The practical consequence
+//! is a much larger model count (Fig 3(a)).
+
+use crate::gpl::Segment;
+use crate::linear::LinearModel;
+
+/// Default probe size used by the FINEdex baseline.
+pub const DEFAULT_PROBE: usize = 32;
+
+/// Segment a sorted key array with LPA: fit a least-squares model on the
+/// next `probe` keys, then extend while the fitted model's error on each
+/// subsequent key is within `epsilon`. Produces the same [`Segment`]
+/// tiling contract as [`crate::gpl::gpl_segment`].
+pub fn lpa_segment(keys: &[u64], epsilon: f64, probe: usize) -> Vec<Segment> {
+    assert!(epsilon >= 0.0, "error bound must be non-negative");
+    assert!(probe >= 2, "probe must be at least 2");
+    let n = keys.len();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let probe_end = (start + probe).min(n);
+        let model = LinearModel::fit(&keys[start..probe_end]).expect("non-empty probe window");
+        // The probe itself may exceed ε on hard data; shrink it until it
+        // fits (always terminates: a 1-key window has zero error).
+        let (model, mut end) = shrink_probe(&keys[start..probe_end], model, epsilon);
+        end += start;
+        // Greedy extension with the *frozen* probe model.
+        while end < n {
+            let err = (model.predict_f(keys[end]) - (end - start) as f64).abs();
+            if err > epsilon {
+                break;
+            }
+            end += 1;
+        }
+        out.push(Segment {
+            start,
+            len: end - start,
+            model,
+        });
+        start = end;
+    }
+    out
+}
+
+/// If the fitted probe model violates ε on its own training window, retry
+/// on progressively smaller prefixes. Returns the model and the window
+/// length it covers.
+fn shrink_probe(window: &[u64], model: LinearModel, epsilon: f64) -> (LinearModel, usize) {
+    if model.max_error(window) <= epsilon {
+        return (model, window.len());
+    }
+    let mut len = window.len() / 2;
+    while len >= 2 {
+        let m = LinearModel::fit(&window[..len]).expect("non-empty window");
+        if m.max_error(&window[..len]) <= epsilon {
+            return (m, len);
+        }
+        len /= 2;
+    }
+    (LinearModel::point(window[0]), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tiling(segs: &[Segment], n: usize) {
+        let mut next = 0;
+        for s in segs {
+            assert_eq!(s.start, next);
+            assert!(s.len > 0);
+            next = s.start + s.len;
+        }
+        assert_eq!(next, n);
+    }
+
+    #[test]
+    fn linear_data_yields_one_segment() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| 3 + i * 11).collect();
+        let segs = lpa_segment(&keys, 4.0, DEFAULT_PROBE);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn error_bound_is_respected() {
+        let keys: Vec<u64> = (0..4_000u64).map(|i| i * i / 5 + i + 1).collect();
+        for eps in [4.0, 16.0, 64.0] {
+            let segs = lpa_segment(&keys, eps, DEFAULT_PROBE);
+            check_tiling(&segs, keys.len());
+            for s in &segs {
+                assert!(
+                    s.max_error(&keys) <= eps + 1e-6,
+                    "eps={eps} err={}",
+                    s.max_error(&keys)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lpa_frozen_probe_cuts_more_than_shrinking_cone() {
+        // LPA freezes its slope after the probe window, so on convex data
+        // it accumulates error and cuts where ShrinkingCone's narrowing
+        // cone would keep extending.
+        let keys: Vec<u64> = (0..100_000u64)
+            .map(|i| i * 10 + i * i / 50_000 + 1)
+            .collect();
+        let lpa = lpa_segment(&keys, 8.0, DEFAULT_PROBE).len();
+        let sc = crate::shrinking_cone::shrinking_cone_segment(&keys, 8.0).len();
+        assert!(lpa > sc, "lpa={lpa} sc={sc}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(lpa_segment(&[], 4.0, 8).is_empty());
+        let segs = lpa_segment(&[5], 4.0, 8);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, 1);
+        let segs = lpa_segment(&[5, 6, 7], 4.0, 8);
+        check_tiling(&segs, 3);
+    }
+
+    #[test]
+    fn hard_probe_windows_shrink_instead_of_violating() {
+        // Exponential gaps: even small probes violate tight bounds, forcing
+        // the shrink path.
+        let keys: Vec<u64> = (0..64u64).map(|i| 1u64 << i.min(62)).collect();
+        let mut dedup = keys;
+        dedup.dedup();
+        let segs = lpa_segment(&dedup, 0.5, 16);
+        check_tiling(&segs, dedup.len());
+        for s in &segs {
+            assert!(s.max_error(&dedup) <= 0.5 + 1e-9);
+        }
+    }
+}

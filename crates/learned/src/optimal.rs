@@ -1,0 +1,237 @@
+//! A reference ε-optimal piecewise-linear segmenter.
+//!
+//! Greedy longest-feasible-prefix segmentation is optimal for interval
+//! covering, so the only hard part is the feasibility oracle: *does any
+//! line approximate `keys[i..j]` (with positions as y-values) within
+//! Chebyshev error ε?* The minimal Chebyshev error of a linear fit is
+//!
+//! ```text
+//!   err*(S) = 1/2 · min_s [ max_i (y_i - s·x_i) - min_i (y_i - s·x_i) ]
+//! ```
+//!
+//! which is convex in the slope `s`, so the oracle ternary-searches `s`.
+//! Segment ends are found with doubling + binary search, giving
+//! `O(n · log n · log(1/δ))` overall — a *reference* implementation used
+//! to measure how close the O(n) production algorithms (GPL,
+//! ShrinkingCone, LPA) come to the optimal segment count, not a hot path.
+
+use crate::gpl::Segment;
+use crate::linear::LinearModel;
+
+/// Relative tolerance of the slope ternary search.
+const SLOPE_TOL: f64 = 1e-12;
+
+/// Minimal Chebyshev error of a linear fit over `(keys[i], i)` points
+/// (positions relative to the slice start), together with the arg-min
+/// slope and the intercept at `keys[0]`.
+pub fn chebyshev_fit(keys: &[u64]) -> (f64, f64, f64) {
+    let n = keys.len();
+    if n <= 1 {
+        return (0.0, 0.0, 0.0);
+    }
+    let x0 = keys[0];
+    let xs: Vec<f64> = keys.iter().map(|&k| (k - x0) as f64).collect();
+    // Residual spread at slope s: max_i (i - s·x_i) - min_i (i - s·x_i).
+    let spread = |s: f64| -> (f64, f64, f64) {
+        let mut hi = f64::NEG_INFINITY;
+        let mut lo = f64::INFINITY;
+        for (i, &x) in xs.iter().enumerate() {
+            let r = i as f64 - s * x;
+            hi = hi.max(r);
+            lo = lo.min(r);
+        }
+        (hi - lo, hi, lo)
+    };
+    // Bracket: any optimal slope lies within the extreme point slopes.
+    let last = *xs.last().expect("n > 1");
+    let mut a: f64 = 0.0;
+    let mut b: f64 = if last > 0.0 {
+        // Steepest reasonable slope: all mass in the smallest gap.
+        let min_gap = xs
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        (1.0 / min_gap.max(f64::MIN_POSITIVE)).max((n - 1) as f64 / last)
+    } else {
+        1.0
+    };
+    // Ternary search on the convex spread function. The tolerance must
+    // be *relative to the bracket* — slopes can be as small as 1e-14
+    // (positions per key unit over a 2^64 key space), so an absolute
+    // cutoff would stop orders of magnitude short of the optimum.
+    let width0 = b - a;
+    for _ in 0..160 {
+        if (b - a) <= SLOPE_TOL * width0 {
+            break;
+        }
+        let m1 = a + (b - a) / 3.0;
+        let m2 = b - (b - a) / 3.0;
+        if spread(m1).0 <= spread(m2).0 {
+            b = m2;
+        } else {
+            a = m1;
+        }
+    }
+    let s = (a + b) * 0.5;
+    let (w, hi, lo) = spread(s);
+    // Centered intercept: position offset at the anchor key.
+    let intercept = (hi + lo) * 0.5;
+    (w * 0.5, s, intercept)
+}
+
+/// Whether some line fits `keys` within Chebyshev error `eps`.
+pub fn feasible(keys: &[u64], eps: f64) -> bool {
+    chebyshev_fit(keys).0 <= eps + 1e-9
+}
+
+/// ε-optimal (minimum-count) segmentation by greedy longest feasible
+/// prefix, using doubling + binary search over segment ends.
+///
+/// The returned [`Segment`] models are anchored at each segment's first
+/// key like the production algorithms; a constant intercept shift cannot
+/// be represented there, so per-segment max error can reach `2ε` when
+/// evaluated through [`Segment::max_error`] — use
+/// [`optimal_segment_count`] when only the count matters.
+pub fn optimal_segment(keys: &[u64], eps: f64) -> Vec<Segment> {
+    assert!(eps >= 0.0);
+    let n = keys.len();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        // Doubling phase: find an infeasible upper bound.
+        let mut lo = 1usize; // segment length known feasible
+        let mut hi = 2usize;
+        while start + hi <= n && feasible(&keys[start..start + hi], eps) {
+            lo = hi;
+            hi *= 2;
+        }
+        let hi = (start + hi).min(n) - start;
+        // Binary search the largest feasible length in (lo, hi].
+        let (mut lo, mut hi) = (lo, hi);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if feasible(&keys[start..start + mid], eps) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let len = lo;
+        let slice = &keys[start..start + len];
+        let (_, slope, _) = chebyshev_fit(slice);
+        out.push(Segment {
+            start,
+            len,
+            model: LinearModel::new(keys[start], slope),
+        });
+        start += len;
+    }
+    out
+}
+
+/// Minimum number of ε-segments (the lower bound every production
+/// algorithm is compared against).
+pub fn optimal_segment_count(keys: &[u64], eps: f64) -> usize {
+    optimal_segment(keys, eps).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gpl_segment, lpa_segment, shrinking_cone_segment};
+
+    #[test]
+    fn chebyshev_fit_is_zero_on_collinear_points() {
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 7 + 3).collect();
+        let (err, slope, _) = chebyshev_fit(&keys);
+        assert!(err < 1e-6, "err {err}");
+        assert!((slope - 1.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chebyshev_fit_beats_endpoint_fit() {
+        let keys: Vec<u64> = (0..200u64).map(|i| i * i + 1).collect();
+        let (opt, _, _) = chebyshev_fit(&keys);
+        let endpoint = LinearModel::fit_endpoints(&keys).unwrap().max_error(&keys);
+        assert!(opt <= endpoint + 1e-6, "opt {opt} endpoint {endpoint}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(chebyshev_fit(&[]).0, 0.0);
+        assert_eq!(chebyshev_fit(&[5]).0, 0.0);
+        assert!(feasible(&[1, 2], 0.0), "two points always fit a line");
+        assert!(optimal_segment(&[], 1.0).is_empty());
+        assert_eq!(optimal_segment(&[9], 1.0).len(), 1);
+    }
+
+    #[test]
+    fn optimal_tiles_and_respects_feasibility() {
+        let keys: Vec<u64> = (0..3_000u64).map(|i| i * i / 11 + i + 1).collect();
+        let mut dedup = keys;
+        dedup.dedup();
+        for eps in [2.0, 8.0, 32.0] {
+            let segs = optimal_segment(&dedup, eps);
+            let mut next = 0;
+            for s in &segs {
+                assert_eq!(s.start, next);
+                assert!(feasible(&dedup[s.start..s.start + s.len], eps));
+                next = s.start + s.len;
+            }
+            assert_eq!(next, dedup.len());
+        }
+    }
+
+    #[test]
+    fn optimal_lower_bounds_production_algorithms() {
+        // The greedy-longest-prefix count is minimal, so every O(n)
+        // algorithm must produce at least as many segments.
+        let mut key = 1u64;
+        let mut dedup = Vec::with_capacity(5_000);
+        for i in 0..5_000u64 {
+            key += 13 + (i % 97) % 7 + if i % 500 == 0 { 5_000 } else { 0 };
+            dedup.push(key);
+        }
+        let eps = 16.0;
+        let opt = optimal_segment_count(&dedup, eps);
+        assert!(opt >= 1);
+        for (name, count) in [
+            ("gpl", gpl_segment(&dedup, eps).len()),
+            ("sc", shrinking_cone_segment(&dedup, eps).len()),
+            ("lpa", lpa_segment(&dedup, eps, 32).len()),
+        ] {
+            assert!(count >= opt, "{name}: {count} < optimal {opt}");
+        }
+    }
+
+    #[test]
+    fn optimal_handles_tiny_slopes_on_uniform_64bit_keys() {
+        // Uniform keys over the full u64 space make the optimal slope
+        // ~1e-14; the oracle must still resolve it (regression: an
+        // absolute ternary-search tolerance once made "optimal" produce
+        // 7x more segments than the greedy algorithms here).
+        let keys = datasets_like_uniform(20_000, 99);
+        let eps = 64.0;
+        let opt = optimal_segment_count(&keys, eps);
+        let sc = shrinking_cone_segment(&keys, eps).len();
+        assert!(opt <= sc, "optimal {opt} > shrinking-cone {sc}");
+    }
+
+    /// Deterministic uniform u64 sample (avoiding a dev-dependency on the
+    /// datasets crate from here).
+    fn datasets_like_uniform(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut v: Vec<u64> = (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) | 1
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}

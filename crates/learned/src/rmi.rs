@@ -1,0 +1,231 @@
+//! A two-stage Recursive Model Index (Kraska et al., SIGMOD 2018).
+//!
+//! Used by the XIndex baseline (whose top layer is a dynamic RMI) and by
+//! the Fig 3 model-count experiment. The root stage is a single linear
+//! model over the whole key range that routes each key to one of
+//! `num_leaves` second-stage linear models; each leaf records its maximum
+//! observed training error so lookups can do an error-bounded binary
+//! search.
+
+use crate::linear::LinearModel;
+use crate::search::bounded_search;
+
+/// One second-stage model covering a contiguous key range.
+#[derive(Debug, Clone)]
+pub struct RmiLeaf {
+    /// Offset of the leaf's first key in the training array.
+    pub start: usize,
+    /// Number of keys covered.
+    pub len: usize,
+    /// The leaf's linear model (positions relative to `start`).
+    pub model: LinearModel,
+    /// Maximum absolute training error (positions), rounded up.
+    pub err: usize,
+}
+
+/// Two-stage recursive model index over a sorted key array.
+///
+/// The index does not own the keys; lookups take the same array that was
+/// used for training (the standard RMI usage — the caller owns the sorted
+/// data, the RMI owns only the models).
+#[derive(Debug, Clone)]
+pub struct Rmi {
+    root: LinearModel,
+    root_scale: f64,
+    leaves: Vec<RmiLeaf>,
+}
+
+impl Rmi {
+    /// Train a two-stage RMI with `num_leaves` second-stage models over a
+    /// sorted, unique key array.
+    pub fn train(keys: &[u64], num_leaves: usize) -> Self {
+        assert!(num_leaves > 0, "need at least one leaf model");
+        let n = keys.len();
+        let root = LinearModel::fit_endpoints(keys).unwrap_or_else(|| LinearModel::point(0));
+        // The root maps keys to [0, n); scale that to a leaf id in
+        // [0, num_leaves).
+        let root_scale = if n > 0 {
+            num_leaves as f64 / n as f64
+        } else {
+            0.0
+        };
+
+        // Partition keys into leaves by root prediction. Because the root
+        // is monotone, per-leaf key ranges are contiguous.
+        let mut boundaries = vec![0usize; num_leaves + 1];
+        {
+            let mut leaf = 0usize;
+            for (i, &k) in keys.iter().enumerate() {
+                let target = Self::route(&root, root_scale, num_leaves, k);
+                while leaf < target {
+                    leaf += 1;
+                    boundaries[leaf] = i;
+                }
+            }
+            while leaf < num_leaves {
+                leaf += 1;
+                boundaries[leaf] = n;
+            }
+        }
+        boundaries[num_leaves] = n;
+
+        let mut leaves = Vec::with_capacity(num_leaves);
+        for l in 0..num_leaves {
+            let (s, e) = (boundaries[l], boundaries[l + 1]);
+            let slice = &keys[s..e];
+            let model = LinearModel::fit_endpoints(slice)
+                .unwrap_or_else(|| LinearModel::point(if s < n { keys[s.min(n - 1)] } else { 0 }));
+            let err = model.max_error(slice).ceil() as usize;
+            leaves.push(RmiLeaf {
+                start: s,
+                len: e - s,
+                model,
+                err,
+            });
+        }
+        Self {
+            root,
+            root_scale,
+            leaves,
+        }
+    }
+
+    #[inline]
+    fn route(root: &LinearModel, scale: f64, num_leaves: usize, key: u64) -> usize {
+        let p = root.predict_f(key) * scale;
+        (p as usize).min(num_leaves - 1)
+    }
+
+    /// Number of second-stage models.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The leaf that covers `key`.
+    pub fn leaf_for(&self, key: u64) -> &RmiLeaf {
+        let id = Self::route(&self.root, self.root_scale, self.leaves.len(), key);
+        &self.leaves[id]
+    }
+
+    /// Index of the leaf that covers `key`.
+    pub fn leaf_id_for(&self, key: u64) -> usize {
+        Self::route(&self.root, self.root_scale, self.leaves.len(), key)
+    }
+
+    /// All leaves, in key order.
+    pub fn leaves(&self) -> &[RmiLeaf] {
+        &self.leaves
+    }
+
+    /// Look up `key` in the training array: returns its absolute position
+    /// if present.
+    ///
+    /// The routing boundary is approximate, so a key may land one leaf off
+    /// its true range; lookups therefore fall back to the neighbouring
+    /// leaves when the bounded search misses at a range edge.
+    pub fn lookup(&self, keys: &[u64], key: u64) -> Option<usize> {
+        let id = self.leaf_id_for(key);
+        if let Some(p) = self.lookup_in_leaf(keys, id, key) {
+            return Some(p);
+        }
+        // Boundary slop: try neighbours.
+        if id > 0 {
+            if let Some(p) = self.lookup_in_leaf(keys, id - 1, key) {
+                return Some(p);
+            }
+        }
+        if id + 1 < self.leaves.len() {
+            if let Some(p) = self.lookup_in_leaf(keys, id + 1, key) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn lookup_in_leaf(&self, keys: &[u64], id: usize, key: u64) -> Option<usize> {
+        let leaf = &self.leaves[id];
+        if leaf.len == 0 {
+            return None;
+        }
+        let slice = &keys[leaf.start..leaf.start + leaf.len];
+        let pred = leaf.model.predict_clamped(key, leaf.len);
+        bounded_search(slice, key, pred, leaf.err).map(|p| leaf.start + p)
+    }
+
+    /// Maximum leaf error bound (positions) — the Fig 3(b) sweep parameter.
+    pub fn max_leaf_error(&self) -> usize {
+        self.leaves.iter().map(|l| l.err).max().unwrap_or(0)
+    }
+
+    /// Approximate size of the model structure in bytes.
+    pub fn memory_usage(&self) -> usize {
+        std::mem::size_of::<Self>() + self.leaves.len() * std::mem::size_of::<RmiLeaf>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_quadratic(n: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n).map(|i| i * i / 3 + i + 1).collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn lookup_finds_every_trained_key() {
+        let keys = keys_quadratic(20_000);
+        let rmi = Rmi::train(&keys, 64);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(rmi.lookup(&keys, k), Some(i), "key {k}");
+        }
+    }
+
+    #[test]
+    fn lookup_misses_absent_keys() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 4 + 2).collect();
+        let rmi = Rmi::train(&keys, 32);
+        for probe in [0u64, 1, 3, 5, 39_999, 40_001] {
+            assert_eq!(rmi.lookup(&keys, probe), None, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn leaves_tile_the_array() {
+        let keys = keys_quadratic(5_000);
+        let rmi = Rmi::train(&keys, 16);
+        let mut next = 0;
+        for l in rmi.leaves() {
+            assert_eq!(l.start, next);
+            next += l.len;
+        }
+        assert_eq!(next, keys.len());
+    }
+
+    #[test]
+    fn single_leaf_degenerates_to_global_model() {
+        let keys: Vec<u64> = (1..=1000u64).collect();
+        let rmi = Rmi::train(&keys, 1);
+        assert_eq!(rmi.num_leaves(), 1);
+        assert_eq!(rmi.lookup(&keys, 500), Some(499));
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let rmi = Rmi::train(&[], 8);
+        assert_eq!(rmi.lookup(&[], 5), None);
+        let keys = [42u64];
+        let rmi = Rmi::train(&keys, 8);
+        assert_eq!(rmi.lookup(&keys, 42), Some(0));
+        assert_eq!(rmi.lookup(&keys, 41), None);
+    }
+
+    #[test]
+    fn more_leaves_reduce_max_error_on_hard_data() {
+        let keys = keys_quadratic(50_000);
+        let coarse = Rmi::train(&keys, 4).max_leaf_error();
+        let fine = Rmi::train(&keys, 1024).max_leaf_error();
+        assert!(fine <= coarse, "fine={fine} coarse={coarse}");
+    }
+}

@@ -1,0 +1,130 @@
+//! The ShrinkingCone segmentation algorithm of FITing-tree (Galakatos et
+//! al., SIGMOD 2019), reimplemented for the Fig 4 algorithm comparison.
+//!
+//! Unlike GPL — whose cone is defined by the extreme point slopes and only
+//! *widens* — ShrinkingCone narrows its feasible-slope interval on **every**
+//! accepted point: after accepting `(x, y)`, the high slope is clamped to
+//! the line through `(x, y + ε)` and the low slope to the line through
+//! `(x, y - ε)`. A point is rejected (segment cut) when its slope falls
+//! outside the current interval. This admits longer segments for the same ε
+//! (any slope in the final cone has error ≤ ε at every accepted point) at
+//! the cost of two slope updates per point, which the ALT-index paper calls
+//! out as "more frequent updates of two slopes than GPL".
+
+use crate::gpl::Segment;
+use crate::linear::LinearModel;
+
+/// Segment a sorted key array with the ShrinkingCone algorithm and error
+/// bound `epsilon`. Produces the same [`Segment`] tiling contract as
+/// [`crate::gpl::gpl_segment`].
+pub fn shrinking_cone_segment(keys: &[u64], epsilon: f64) -> Vec<Segment> {
+    assert!(epsilon >= 0.0, "error bound must be non-negative");
+    let mut out = Vec::new();
+    let n = keys.len();
+    if n == 0 {
+        return out;
+    }
+    let mut start = 0usize;
+    let mut first_key = keys[0];
+    // Feasible slope interval [lo, hi].
+    let mut lo = 0.0f64;
+    let mut hi = f64::INFINITY;
+
+    let mut i = 1;
+    while i < n {
+        let dx = (keys[i] - first_key) as f64;
+        let y = (i - start) as f64;
+        let slope = y / dx;
+        if slope < lo || slope > hi {
+            // Cut: seal [start, i) and restart the cone at keys[i].
+            out.push(seal(start, i - start, first_key, lo, hi));
+            start = i;
+            first_key = keys[i];
+            lo = 0.0;
+            hi = f64::INFINITY;
+        } else {
+            // Shrink the cone through (x, y ± ε).
+            hi = hi.min((y + epsilon) / dx);
+            lo = lo.max(((y - epsilon) / dx).max(0.0));
+        }
+        i += 1;
+    }
+    out.push(seal(start, n - start, first_key, lo, hi));
+    out
+}
+
+fn seal(start: usize, len: usize, first_key: u64, lo: f64, hi: f64) -> Segment {
+    let slope = if len == 1 {
+        0.0
+    } else if hi.is_finite() {
+        (lo + hi) * 0.5
+    } else {
+        lo
+    };
+    Segment {
+        start,
+        len,
+        model: LinearModel::new(first_key, slope),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tiling(segs: &[Segment], n: usize) {
+        let mut next = 0;
+        for s in segs {
+            assert_eq!(s.start, next);
+            assert!(s.len > 0);
+            next = s.start + s.len;
+        }
+        assert_eq!(next, n);
+    }
+
+    #[test]
+    fn linear_data_yields_one_segment() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| 3 + i * 11).collect();
+        let segs = shrinking_cone_segment(&keys, 4.0);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].max_error(&keys) <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_is_respected() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * i / 3 + 1).collect();
+        for eps in [2.0, 8.0, 32.0] {
+            let segs = shrinking_cone_segment(&keys, eps);
+            check_tiling(&segs, keys.len());
+            for s in &segs {
+                assert!(
+                    s.max_error(&keys) <= eps + 1e-6,
+                    "eps={eps} err={}",
+                    s.max_error(&keys)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_cone_not_worse_than_gpl_on_smooth_data() {
+        // ShrinkingCone's narrowing admits at least as long segments on
+        // smooth curves for the same ε.
+        let keys: Vec<u64> = (0..50_000u64)
+            .map(|i| (i as f64).powf(1.3) as u64 + i)
+            .collect();
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        let sc = shrinking_cone_segment(&dedup, 16.0).len();
+        let gpl = crate::gpl::gpl_segment(&dedup, 16.0).len();
+        assert!(sc <= gpl * 2, "sc={sc} gpl={gpl}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(shrinking_cone_segment(&[], 1.0).is_empty());
+        let one = shrinking_cone_segment(&[9], 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].len, 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! The multi-threaded measurement driver: runs a [`WorkloadPlan`] over
+//! any [`ConcurrentIndex`] and reports throughput plus sampled tail
+//! latencies (the paper reports million ops/sec and P99.9 µs).
+
+use crate::histogram::LatencyHistogram;
+use crate::mix::Op;
+use crate::ops::WorkloadPlan;
+use index_api::ConcurrentIndex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Driver knobs.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Measure latency on every `latency_sample_every`-th operation
+    /// (1 = all; higher values keep the timer overhead off the hot path).
+    pub latency_sample_every: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            ops_per_thread: 100_000,
+            latency_sample_every: 16,
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total operations executed.
+    pub total_ops: usize,
+    /// Wall-clock seconds (max across threads).
+    pub secs: f64,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Median sampled latency, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile sampled latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile sampled latency, microseconds — the paper's tail
+    /// metric.
+    pub p999_us: f64,
+    /// Reads that found a key (sanity signal; should be ~100% for
+    /// key-recall workloads).
+    pub read_hits: usize,
+    /// Total reads issued.
+    pub reads: usize,
+    /// Inserts that were rejected as duplicates (should be 0 with
+    /// disjoint reserve slices).
+    pub failed_inserts: usize,
+}
+
+/// Run `plan` over `index` with `cfg`. Blocks until all threads finish.
+pub fn run_workload<I: ConcurrentIndex + ?Sized + 'static>(
+    index: &Arc<I>,
+    plan: &WorkloadPlan,
+    cfg: &DriverConfig,
+) -> RunResult {
+    let threads = cfg.threads.max(1);
+    let barrier = Arc::new(Barrier::new(threads));
+    let read_hits = Arc::new(AtomicUsize::new(0));
+    let reads = Arc::new(AtomicUsize::new(0));
+    let failed = Arc::new(AtomicUsize::new(0));
+
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let index = Arc::clone(index);
+        let barrier = Arc::clone(&barrier);
+        let read_hits = Arc::clone(&read_hits);
+        let reads = Arc::clone(&reads);
+        let failed = Arc::clone(&failed);
+        let stream = plan.stream(t, threads, cfg.ops_per_thread);
+        let sample_every = cfg.latency_sample_every.max(1);
+        let ops_per_thread = cfg.ops_per_thread;
+        let _ = ops_per_thread;
+        handles.push(std::thread::spawn(move || {
+            let mut lat = LatencyHistogram::new();
+            let mut scan_buf: Vec<(u64, u64)> = Vec::with_capacity(128);
+            let mut local_reads = 0usize;
+            let mut local_hits = 0usize;
+            let mut local_failed = 0usize;
+            barrier.wait();
+            let start = Instant::now();
+            let mut n = 0usize;
+            for op in stream {
+                let sampled = n.is_multiple_of(sample_every);
+                let t0 = if sampled { Some(Instant::now()) } else { None };
+                match op {
+                    Op::Read(k) => {
+                        local_reads += 1;
+                        if index.get(k).is_some() {
+                            local_hits += 1;
+                        }
+                    }
+                    Op::Insert(k, v) => {
+                        if index.insert(k, v).is_err() {
+                            local_failed += 1;
+                        }
+                    }
+                    Op::Scan(k, len) => {
+                        scan_buf.clear();
+                        index.scan(k, len, &mut scan_buf);
+                    }
+                }
+                if let Some(t0) = t0 {
+                    lat.record(t0.elapsed().as_nanos() as u64);
+                }
+                n += 1;
+            }
+            let secs = start.elapsed().as_secs_f64();
+            read_hits.fetch_add(local_hits, Ordering::Relaxed);
+            reads.fetch_add(local_reads, Ordering::Relaxed);
+            failed.fetch_add(local_failed, Ordering::Relaxed);
+            (secs, lat, n)
+        }));
+    }
+
+    let mut all_lat = LatencyHistogram::new();
+    let mut max_secs = 0.0f64;
+    let mut total_ops = 0usize;
+    for h in handles {
+        let (secs, lat, n) = h.join().expect("worker panicked");
+        max_secs = max_secs.max(secs);
+        all_lat.merge(&lat);
+        total_ops += n;
+    }
+    let pct = |p: f64| -> f64 { all_lat.quantile(p) as f64 / 1_000.0 };
+    RunResult {
+        total_ops,
+        secs: max_secs,
+        mops: if max_secs > 0.0 {
+            total_ops as f64 / max_secs / 1e6
+        } else {
+            0.0
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        read_hits: read_hits.load(Ordering::Relaxed),
+        reads: reads.load(Ordering::Relaxed),
+        failed_inserts: failed.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::Mix;
+    use index_api::{BulkLoad, IndexError, Key, Result, Value};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Locked BTreeMap reference index for driver tests.
+    struct RefIndex(Mutex<BTreeMap<Key, Value>>);
+
+    impl ConcurrentIndex for RefIndex {
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn insert(&self, key: Key, value: Value) -> Result<()> {
+            let mut m = self.0.lock().unwrap();
+            if m.contains_key(&key) {
+                return Err(IndexError::DuplicateKey);
+            }
+            m.insert(key, value);
+            Ok(())
+        }
+        fn update(&self, key: Key, value: Value) -> Result<()> {
+            match self.0.lock().unwrap().get_mut(&key) {
+                Some(v) => {
+                    *v = value;
+                    Ok(())
+                }
+                None => Err(IndexError::KeyNotFound),
+            }
+        }
+        fn remove(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().remove(&key)
+        }
+        fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {
+            let m = self.0.lock().unwrap();
+            let before = out.len();
+            out.extend(m.range(lo..=hi).map(|(&k, &v)| (k, v)));
+            out.len() - before
+        }
+        fn memory_usage(&self) -> usize {
+            self.0.lock().unwrap().len() * 16
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+        fn name(&self) -> &'static str {
+            "ref"
+        }
+    }
+
+    impl BulkLoad for RefIndex {
+        fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+            Self(Mutex::new(pairs.iter().copied().collect()))
+        }
+    }
+
+    #[test]
+    fn balanced_run_reports_sane_numbers() {
+        let loaded: Vec<u64> = (1..=5_000u64).map(|i| i * 2).collect();
+        let reserve: Vec<u64> = (1..=5_000u64).map(|i| i * 2 + 1).collect();
+        let pairs: Vec<(u64, u64)> = loaded.iter().map(|&k| (k, k)).collect();
+        let idx = Arc::new(RefIndex::bulk_load(&pairs));
+        let plan = WorkloadPlan::new(loaded, reserve, Mix::BALANCED, 0.99, 1);
+        let cfg = DriverConfig {
+            threads: 4,
+            ops_per_thread: 2_000,
+            latency_sample_every: 4,
+        };
+        let r = run_workload(&idx, &plan, &cfg);
+        assert_eq!(r.total_ops, 8_000);
+        assert!(r.mops > 0.0);
+        assert!(r.p999_us >= r.p99_us && r.p99_us >= r.p50_us);
+        assert_eq!(r.failed_inserts, 0, "reserve slices are disjoint");
+        assert_eq!(r.read_hits, r.reads, "every read key was loaded");
+    }
+
+    #[test]
+    fn scan_workload_runs() {
+        let loaded: Vec<u64> = (1..=2_000u64).map(|i| i * 3).collect();
+        let pairs: Vec<(u64, u64)> = loaded.iter().map(|&k| (k, k)).collect();
+        let idx = Arc::new(RefIndex::bulk_load(&pairs));
+        let plan = WorkloadPlan::new(loaded, Vec::new(), Mix::SCAN, 0.5, 2);
+        let cfg = DriverConfig {
+            threads: 2,
+            ops_per_thread: 200,
+            latency_sample_every: 1,
+        };
+        let r = run_workload(&idx, &plan, &cfg);
+        assert_eq!(r.total_ops, 400);
+        assert_eq!(r.reads, 0);
+    }
+}

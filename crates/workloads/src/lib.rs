@@ -1,0 +1,27 @@
+//! Workload generation and the multi-threaded measurement driver for the
+//! ALT-index evaluation (§IV-A2 of the paper).
+//!
+//! * [`zipf`] — a zipfian sampler (θ = 0.99 by default, as in the paper).
+//! * [`mix`] — the seven workload shapes: read-only, read-heavy,
+//!   read-write-balanced, write-heavy, write-only, hot-write, and scan.
+//! * [`ops`] — per-thread operation streams: zipfian reads over the
+//!   bulk-loaded keys, uniformly distributed inserts from a reserved
+//!   pool, 100-key scans.
+//! * [`driver`] — spawns N threads over any
+//!   [`index_api::ConcurrentIndex`], measuring throughput and sampled
+//!   P50/P99/P99.9 latencies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod histogram;
+pub mod mix;
+pub mod ops;
+pub mod zipf;
+
+pub use driver::{run_workload, DriverConfig, RunResult};
+pub use histogram::LatencyHistogram;
+pub use mix::{Mix, Op};
+pub use ops::{OpStream, WorkloadPlan};
+pub use zipf::Zipf;

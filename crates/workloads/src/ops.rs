@@ -1,0 +1,209 @@
+//! Per-thread operation streams.
+//!
+//! The evaluation bulk-loads 50% of a dataset and runs a mix over it:
+//! reads are zipfian(θ) over the *loaded* keys, inserts draw uniformly
+//! from the reserved (unloaded) half, scans start at zipfian keys. A
+//! [`WorkloadPlan`] splits the reserved keys into disjoint per-thread
+//! slices so concurrent inserts never collide on the same key.
+
+use crate::mix::{Mix, Op};
+use crate::zipf::Zipf;
+use datasets::rng::SplitMix64;
+use std::sync::Arc;
+
+/// Shared, read-only inputs for generating per-thread streams.
+pub struct WorkloadPlan {
+    /// Keys present after the bulk load (reads target these, by rank).
+    pub loaded: Arc<Vec<u64>>,
+    /// Keys reserved for insertion, pre-shuffled.
+    pub reserve: Arc<Vec<u64>>,
+    /// The operation mix.
+    pub mix: Mix,
+    /// Zipfian skew for reads/scans.
+    pub theta: f64,
+    /// Scan length (the paper uses 100).
+    pub scan_len: usize,
+    /// Base RNG seed; thread id is mixed in.
+    pub seed: u64,
+}
+
+impl WorkloadPlan {
+    /// Plan over loaded keys and a reserve pool (shuffled here for
+    /// uniform insertion order).
+    pub fn new(loaded: Vec<u64>, mut reserve: Vec<u64>, mix: Mix, theta: f64, seed: u64) -> Self {
+        // Fisher-Yates with the deterministic RNG: "insertions are
+        // distributed uniformly in each dataset".
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A);
+        for i in (1..reserve.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            reserve.swap(i, j);
+        }
+        Self {
+            loaded: Arc::new(loaded),
+            reserve: Arc::new(reserve),
+            mix,
+            theta,
+            scan_len: 100,
+            seed,
+        }
+    }
+
+    /// Build the operation stream for one of `threads` workers, `ops`
+    /// operations long. Insert keys come from this thread's disjoint
+    /// slice of the reserve.
+    pub fn stream(&self, thread: usize, threads: usize, ops: usize) -> OpStream {
+        assert!(thread < threads);
+        let per = self.reserve.len() / threads.max(1);
+        let lo = thread * per;
+        let hi = if thread + 1 == threads {
+            self.reserve.len()
+        } else {
+            lo + per
+        };
+        OpStream {
+            loaded: Arc::clone(&self.loaded),
+            reserve: Arc::clone(&self.reserve),
+            next_reserve: lo,
+            reserve_end: hi,
+            mix: self.mix,
+            zipf: if self.loaded.is_empty() {
+                None
+            } else {
+                Some(Zipf::new(self.loaded.len() as u64, self.theta))
+            },
+            scan_len: self.scan_len,
+            rng: SplitMix64::new(self.seed ^ (thread as u64).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+            remaining: ops,
+        }
+    }
+}
+
+/// A lazily generated operation stream for one thread.
+pub struct OpStream {
+    loaded: Arc<Vec<u64>>,
+    reserve: Arc<Vec<u64>>,
+    next_reserve: usize,
+    reserve_end: usize,
+    mix: Mix,
+    zipf: Option<Zipf>,
+    scan_len: usize,
+    rng: SplitMix64,
+    remaining: usize,
+}
+
+impl OpStream {
+    fn read_key(&mut self) -> u64 {
+        match (&self.zipf, self.loaded.is_empty()) {
+            (Some(z), false) => {
+                let rank = z.sample(&mut self.rng) as usize;
+                // Hot ranks hash to scattered array positions so the
+                // hottest keys are spread over the key space (YCSB-style).
+                let pos = rank.wrapping_mul(0x9E37_79B9) % self.loaded.len();
+                self.loaded[pos]
+            }
+            _ => 1 + self.rng.next_u64() % (u64::MAX - 1),
+        }
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let roll = self.rng.next_below(100) as u8;
+        let op = if roll < self.mix.read_pct {
+            Op::Read(self.read_key())
+        } else if roll < self.mix.read_pct + self.mix.insert_pct {
+            if self.next_reserve < self.reserve_end {
+                let k = self.reserve[self.next_reserve];
+                self.next_reserve += 1;
+                Op::Insert(k, k ^ 0x5555)
+            } else {
+                // Reserve exhausted: degrade to reads so throughput
+                // numbers stay comparable instead of erroring out.
+                Op::Read(self.read_key())
+            }
+        } else {
+            Op::Scan(self.read_key(), self.scan_len)
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(mix: Mix) -> WorkloadPlan {
+        let loaded: Vec<u64> = (1..=10_000u64).map(|i| i * 2).collect();
+        let reserve: Vec<u64> = (1..=10_000u64).map(|i| i * 2 + 1).collect();
+        WorkloadPlan::new(loaded, reserve, mix, 0.99, 42)
+    }
+
+    #[test]
+    fn ratios_approximate_the_mix() {
+        let p = plan(Mix::BALANCED);
+        let ops: Vec<Op> = p.stream(0, 4, 2000).collect();
+        assert_eq!(ops.len(), 2000);
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        assert!((800..1200).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn insert_keys_are_disjoint_across_threads() {
+        let p = plan(Mix::WRITE_ONLY);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..4 {
+            for op in p.stream(t, 4, 2000) {
+                if let Op::Insert(k, _) = op {
+                    assert!(seen.insert(k), "duplicate insert key {k}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8000);
+    }
+
+    #[test]
+    fn reserve_exhaustion_degrades_to_reads() {
+        let p = plan(Mix::WRITE_ONLY);
+        // One thread owns 1/4 of the 10k reserve = 2500 inserts max.
+        let ops: Vec<Op> = p.stream(0, 4, 5000).collect();
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(..))).count();
+        assert_eq!(inserts, 2500);
+        assert!(ops.iter().any(|o| matches!(o, Op::Read(_))));
+    }
+
+    #[test]
+    fn reads_come_from_loaded_keys() {
+        let p = plan(Mix::READ_ONLY);
+        for op in p.stream(0, 1, 1000) {
+            match op {
+                Op::Read(k) => assert!(k % 2 == 0 && k <= 20_000, "key {k}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let p = plan(Mix::BALANCED);
+        let a: Vec<Op> = p.stream(1, 4, 500).collect();
+        let b: Vec<Op> = p.stream(1, 4, 500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scan_ops_carry_the_scan_length() {
+        let p = plan(Mix::SCAN);
+        for op in p.stream(0, 2, 100) {
+            match op {
+                Op::Scan(_, n) => assert_eq!(n, 100),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

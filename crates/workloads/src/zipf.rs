@@ -1,0 +1,157 @@
+//! Zipfian rank sampler after Gray et al. ("Quickly generating
+//! billion-record synthetic databases", SIGMOD 1994) — the standard YCSB
+//! construction. The paper's read operations "follow a zipfian
+//! distribution with 0.99 theta".
+
+use datasets::rng::SplitMix64;
+
+/// A zipfian sampler over ranks `[0, n)` with skew θ.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Sampler over `n` items with skew `theta` in `[0, 1)` (0 = uniform,
+    /// 0.99 = the paper's default).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta in [0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2: zeta2.max(0.0),
+        }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.theta == 0.0 {
+            return rng.next_below(self.n);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The θ this sampler was built with.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Unused-field silencer with meaning: ζ(2, θ), exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n; integral approximation + boundary terms for
+    // large n (accurate to ~1e-4, plenty for workload skew).
+    if n <= 10_000 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let a = 10_000f64;
+        let b = n as f64;
+        head + ((b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta))
+            + 0.5 * (1.0 / b.powf(theta) - 1.0 / a.powf(theta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = SplitMix64::new(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "min {min} max {max}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_head() {
+        let z = Zipf::new(1_000_000, 0.99);
+        let mut rng = SplitMix64::new(3);
+        let n = 100_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) < 1000).count();
+        // With θ=0.99 the hottest 0.1% of items draw a large share.
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "head share {}",
+            head as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn skew_increases_with_theta() {
+        fn share(theta: f64, seed: u64) -> f64 {
+            let mut rng = SplitMix64::new(seed);
+            let z = Zipf::new(100_000, theta);
+            let n = 50_000;
+            (0..n).filter(|_| z.sample(&mut rng) < 100).count() as f64 / n as f64
+        }
+        let low = share(0.5, 4);
+        let high = share(0.99, 4);
+        assert!(high > low, "high {high} low {low}");
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zeta_large_n_matches_exact_within_tolerance() {
+        // Compare the integral approximation against exact summation.
+        let exact: f64 = (1..=200_000u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let approx = super::zeta(200_000, 0.99);
+        assert!(
+            (exact - approx).abs() / exact < 1e-3,
+            "exact {exact} approx {approx}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! A miniature in-memory key-value "table" served by ALT-index under a
+//! concurrent mixed workload — the memory-database scenario the paper's
+//! introduction motivates.
+//!
+//! Eight worker threads run a read-write-balanced mix (zipfian reads,
+//! uniform inserts) against one shared index while a background thread
+//! periodically snapshots structural statistics, demonstrating that
+//! retraining keeps the learned layer dominant as data grows.
+//!
+//! ```sh
+//! cargo run --release --example memdb
+//! ```
+
+use alt::alt_index::AltIndex;
+use alt::datasets::{generate_pairs, Dataset};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = 1_000_000;
+    let pairs = generate_pairs(Dataset::Fb, n, 7);
+    let (bulk, reserve): (Vec<_>, Vec<_>) =
+        pairs
+            .iter()
+            .enumerate()
+            .fold((Vec::new(), Vec::new()), |(mut b, mut r), (i, &(k, v))| {
+                if i % 2 == 0 {
+                    b.push((k, v));
+                } else {
+                    r.push(k);
+                }
+                (b, r)
+            });
+    let idx = Arc::new(AltIndex::bulk_load_default(&bulk));
+    println!("bulk-loaded {} keys from the fb-like dataset", idx.len());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicUsize::new(0));
+
+    // Statistics snapshotter: the "DBA view" of the index.
+    let monitor = {
+        let idx = Arc::clone(&idx);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                let s = idx.stats();
+                println!(
+                    "  [monitor] keys={} models={} learned={:.1}% art={} retrains={}",
+                    idx.len(),
+                    s.num_models,
+                    s.learned_share() * 100.0,
+                    s.keys_in_art,
+                    s.retrains
+                );
+            }
+        })
+    };
+
+    let threads = 8usize;
+    let per_thread = reserve.len() / threads;
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let idx = Arc::clone(&idx);
+            let ops = Arc::clone(&total_ops);
+            let mine: Vec<u64> = reserve[t * per_thread..(t + 1) * per_thread].to_vec();
+            let bulk_keys: Vec<u64> = bulk.iter().map(|p| p.0).collect();
+            std::thread::spawn(move || {
+                let mut local = 0usize;
+                for (i, &k) in mine.iter().enumerate() {
+                    // 50/50 mix: one insert, one read.
+                    idx.insert(k, k ^ 0xFEED).expect("fresh key");
+                    let probe = bulk_keys[(i * 2654435761) % bulk_keys.len()];
+                    assert!(idx.get(probe).is_some(), "bulk key {probe} lost");
+                    local += 2;
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    monitor.join().unwrap();
+
+    let done = total_ops.load(Ordering::Relaxed);
+    println!(
+        "ran {done} ops across {threads} threads in {secs:.2}s ({:.2} Mops/s)",
+        done as f64 / secs / 1e6
+    );
+
+    // Full verification pass: every key (bulk + inserted) must resolve.
+    for &(k, v) in &bulk {
+        assert_eq!(idx.get(k), Some(v));
+    }
+    for &k in &reserve[..threads * per_thread] {
+        assert_eq!(idx.get(k), Some(k ^ 0xFEED));
+    }
+    println!("verification passed: {} keys consistent", idx.len());
+}

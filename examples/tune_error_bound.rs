@@ -1,0 +1,69 @@
+//! Exploring the paper's ε tuning rule (§III-D): sweep the GPL error
+//! bound on a hard dataset and watch the model count, conflict share, and
+//! lookup throughput trade off — then compare with the suggested
+//! `n / 1000` setting.
+//!
+//! ```sh
+//! cargo run --release --example tune_error_bound
+//! ```
+
+use alt::alt_index::{AltConfig, AltIndex};
+use alt::datasets::{generate_pairs, Dataset};
+use std::time::Instant;
+
+fn main() {
+    let n = 500_000;
+    let pairs = generate_pairs(Dataset::Longlat, n, 11);
+    println!("dataset = longlat (hardest CDF), n = {n}");
+    println!(
+        "{:>10} {:>9} {:>12} {:>12} {:>11}",
+        "epsilon", "models", "learned%", "art keys", "Mlookups/s"
+    );
+
+    let probe: Vec<u64> = pairs.iter().step_by(17).map(|p| p.0).collect();
+    let mut best = (0.0f64, 0.0f64);
+    for eps in [16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0] {
+        let idx = AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(eps),
+                ..Default::default()
+            },
+        );
+        let stats = idx.stats();
+        let t0 = Instant::now();
+        let mut hits = 0usize;
+        for &k in &probe {
+            hits += idx.get(k).is_some() as usize;
+        }
+        let mops = probe.len() as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        assert_eq!(hits, probe.len(), "all probed keys must resolve");
+        println!(
+            "{eps:>10.0} {:>9} {:>11.1}% {:>12} {mops:>11.2}",
+            stats.num_models,
+            stats.learned_share() * 100.0,
+            stats.keys_in_art
+        );
+        if mops > best.1 {
+            best = (eps, mops);
+        }
+    }
+
+    // The paper's rule of thumb.
+    let suggested = n as f64 / 1000.0;
+    let idx = AltIndex::bulk_load_default(&pairs);
+    let t0 = Instant::now();
+    for &k in &probe {
+        let _ = idx.get(k);
+    }
+    let mops = probe.len() as f64 / t0.elapsed().as_secs_f64() / 1e6;
+    println!(
+        "\nsuggested eps = n/1000 = {suggested:.0}: {mops:.2} Mlookups/s \
+         (sweep best was {:.2} at eps = {:.0})",
+        best.1, best.0
+    );
+    println!(
+        "the suggested setting should sit inside the paper's \"stable area\" — \
+         within a modest factor of the sweep optimum"
+    );
+}

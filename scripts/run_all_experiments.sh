@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper at laptop scale.
+# Results land in results/<name>.txt (table + #json lines).
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+KEYS=${KEYS:-1m}
+THREADS=${THREADS:-4}
+OPS=${OPS:-50k}
+BIN=target/release
+
+run() {
+    local name="$1"; shift
+    echo ">>> $name $*"
+    "$BIN/$name" "$@" > "results/$name$SUFFIX.txt" 2>&1
+    grep -v '#json' "results/$name$SUFFIX.txt" | tail -n +2 | head -50
+}
+
+SUFFIX=""
+run table1 --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
+run fig3   --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
+run fig4   --keys 500k
+run fig6   --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
+run fig7   --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
+run fig8   --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
+run fig9   --keys "$KEYS" --threads "$THREADS" --ops 25k
+run fig10  --keys "$KEYS"
+run ablation --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
+echo "ALL EXPERIMENTS DONE"

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Summarize experiment outputs in results/ into ranking tables.
+
+Reads the `#json` lines every bench binary emits and prints, per
+experiment: the entries sorted by throughput (or metric value), plus
+average-rank tables for multi-cell figures. Pure stdlib.
+
+Usage: python3 scripts/summarize_results.py [results_dir]
+"""
+
+import collections
+import json
+import pathlib
+import sys
+
+
+def load(results_dir: pathlib.Path):
+    rows = []
+    for f in sorted(results_dir.glob("*.txt")):
+        for line in f.read_text().splitlines():
+            if line.startswith("#json "):
+                rows.append(json.loads(line[6:]))
+    return rows
+
+
+def main():
+    results_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    rows = load(results_dir)
+    if not rows:
+        print(f"no #json rows found under {results_dir}/", file=sys.stderr)
+        return 1
+
+    by_exp = collections.defaultdict(list)
+    for r in rows:
+        by_exp[r["experiment"]].append(r)
+
+    for exp, rs in sorted(by_exp.items()):
+        print(f"\n== {exp} ({len(rs)} rows)")
+        # Group into cells: one ranking per (dataset, workload, x).
+        cells = collections.defaultdict(dict)
+        for r in rs:
+            key = (r.get("dataset", ""), r.get("workload", ""), r.get("x"))
+            val = r.get("mops")
+            if val is None:
+                val = r.get("value")
+            cells[key][(r["index"], r.get("metric", ""))] = val
+
+        ranks = collections.defaultdict(list)
+        wins = collections.Counter()
+        for key, d in sorted(cells.items(), key=str):
+            order = sorted(
+                ((n, v) for (n, _), v in d.items() if v is not None),
+                key=lambda kv: -kv[1],
+            )
+            if not order:
+                continue
+            label = " ".join(str(k) for k in key if k not in ("", None))
+            print(f"  {label:<28} " + " | ".join(f"{n}:{v:.3g}" for n, v in order))
+            if len(order) > 2:
+                wins[order[0][0]] += 1
+                for i, (n, _) in enumerate(order):
+                    ranks[n].append(i + 1)
+
+        if ranks:
+            print("  -- average ranks --")
+            for n, r in sorted(ranks.items(), key=lambda kv: sum(kv[1]) / len(kv[1])):
+                print(f"     {n:<14} {sum(r)/len(r):5.2f}  (wins {wins[n]})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

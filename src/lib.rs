@@ -1,0 +1,14 @@
+//! Umbrella crate for the ALT-index reproduction: re-exports every
+//! workspace crate so examples and integration tests can use one
+//! dependency.
+//!
+//! See the `alt-index` crate for the paper's core contribution and
+//! `DESIGN.md` at the repository root for the full system inventory.
+
+pub use alt_index;
+pub use art;
+pub use baselines;
+pub use datasets;
+pub use index_api;
+pub use learned;
+pub use workloads;

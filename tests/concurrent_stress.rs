@@ -1,0 +1,150 @@
+//! Cross-crate concurrency stress: hammer every index with mixed
+//! operations from multiple threads, then validate full consistency at
+//! quiesce. The disjoint-key partitioning makes the expected final state
+//! exact.
+
+use alt_index::AltIndex;
+use art::Art;
+use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
+use datasets::{generate_pairs, Dataset};
+use index_api::{BulkLoad, ConcurrentIndex};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 3_000;
+
+/// Each thread owns a disjoint slice of fresh keys: inserts all of them,
+/// removes the odd-indexed ones, updates the rest, while reading bulk
+/// keys throughout. Afterwards every bulk key must be intact, every even
+/// slice key must hold its updated value, every odd one must be gone.
+fn stress<I: ConcurrentIndex + 'static>(idx: Arc<I>, bulk: Arc<Vec<(u64, u64)>>, fresh: Vec<u64>) {
+    let fresh = Arc::new(fresh);
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let idx = Arc::clone(&idx);
+        let bulk = Arc::clone(&bulk);
+        let fresh = Arc::clone(&fresh);
+        handles.push(std::thread::spawn(move || {
+            let mine = &fresh[t * PER_THREAD..(t + 1) * PER_THREAD];
+            for (i, &k) in mine.iter().enumerate() {
+                idx.insert(k, 1)
+                    .unwrap_or_else(|e| panic!("insert {k}: {e}"));
+                // Interleave reads of bulk data.
+                let probe = bulk[(i * 2654435761) % bulk.len()];
+                assert_eq!(idx.get(probe.0), Some(probe.1), "bulk {probe:?}");
+                if i % 2 == 1 {
+                    assert_eq!(idx.remove(k), Some(1), "remove {k}");
+                } else {
+                    idx.update(k, k)
+                        .unwrap_or_else(|e| panic!("update {k}: {e}"));
+                    assert_eq!(idx.get(k), Some(k), "own update {k}");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Quiesce validation.
+    for &(k, v) in bulk.iter() {
+        assert_eq!(idx.get(k), Some(v), "bulk key {k} after storm");
+    }
+    for t in 0..THREADS {
+        for (i, &k) in fresh[t * PER_THREAD..(t + 1) * PER_THREAD]
+            .iter()
+            .enumerate()
+        {
+            if i % 2 == 1 {
+                assert_eq!(idx.get(k), None, "removed key {k} resurrected");
+            } else {
+                assert_eq!(idx.get(k), Some(k), "updated key {k}");
+            }
+        }
+    }
+    let expected = bulk.len() + THREADS * PER_THREAD / 2;
+    assert_eq!(idx.len(), expected, "final len");
+}
+
+fn prepare(ds: Dataset, seed: u64) -> (Arc<Vec<(u64, u64)>>, Vec<u64>) {
+    let pairs = generate_pairs(ds, 100_000, seed);
+    let bulk: Vec<(u64, u64)> = pairs.iter().step_by(2).copied().collect();
+    let fresh: Vec<u64> = pairs
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .map(|p| p.0)
+        .take(THREADS * PER_THREAD)
+        .collect();
+    assert_eq!(fresh.len(), THREADS * PER_THREAD);
+    (Arc::new(bulk), fresh)
+}
+
+macro_rules! stress_tests {
+    ($($name:ident: $ty:ty, $ds:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let (bulk, fresh) = prepare($ds, 0xC0FFEE);
+                let idx = Arc::new(<$ty>::bulk_load(&bulk));
+                stress(idx, bulk, fresh);
+            }
+        )*
+    };
+}
+
+stress_tests! {
+    stress_alt_osm: AltIndex, Dataset::Osm;
+    stress_alt_libio: AltIndex, Dataset::Libio;
+    stress_alt_longlat: AltIndex, Dataset::Longlat;
+    stress_art_osm: Art, Dataset::Osm;
+    stress_alex_fb: AlexLike, Dataset::Fb;
+    stress_lipp_osm: LippLike, Dataset::Osm;
+    stress_xindex_fb: XIndexLike, Dataset::Fb;
+    stress_finedex_osm: FinedexLike, Dataset::Osm;
+}
+
+/// Readers racing a retrain storm must never observe a missing bulk key
+/// (the §III-F redirection protocol).
+#[test]
+fn alt_readers_never_miss_during_retrain_storm() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let pairs: Vec<(u64, u64)> = (1..=20_000u64).map(|i| (i * 1_000, i)).collect();
+    let idx = Arc::new(AltIndex::bulk_load_default(&pairs));
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            let pairs = pairs.clone();
+            std::thread::spawn(move || {
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let (k, v) = pairs[i % pairs.len()];
+                    assert_eq!(idx.get(k), Some(v), "reader lost key {k}");
+                    i += 7;
+                }
+            })
+        })
+        .collect();
+    // Writers blast consecutive keys into a few spans, forcing retrains.
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let idx = Arc::clone(&idx);
+            std::thread::spawn(move || {
+                let base = 5_000_000 + w * 2_000_000;
+                for i in 0..30_000u64 {
+                    let k = base + i * 2 + 1;
+                    idx.insert(k, k).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(idx.retrain_count() > 0, "storm should have retrained");
+}

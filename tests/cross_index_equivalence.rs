@@ -1,0 +1,132 @@
+//! Cross-crate integration: every index in the registry must agree with
+//! a `BTreeMap` reference under randomized operation sequences on every
+//! dataset shape.
+
+use alt_index::AltIndex;
+use art::Art;
+use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
+use datasets::rng::SplitMix64;
+use datasets::{generate_pairs, Dataset};
+use index_api::{BulkLoad, ConcurrentIndex, IndexError};
+use std::collections::BTreeMap;
+
+fn check_index<I: ConcurrentIndex>(idx: I, dataset: Dataset, seed: u64) {
+    let pairs = generate_pairs(dataset, 30_000, seed);
+    let bulk: Vec<(u64, u64)> = pairs.iter().step_by(2).copied().collect();
+    let extra: Vec<u64> = pairs.iter().skip(1).step_by(2).map(|p| p.0).collect();
+    let mut model: BTreeMap<u64, u64> = bulk.iter().copied().collect();
+    // idx was bulk-loaded by the caller over `bulk`.
+
+    let mut rng = SplitMix64::new(seed ^ 0xBEEF);
+    let mut extra_cursor = 0usize;
+    for step in 0..60_000 {
+        let roll = rng.next_below(100);
+        if roll < 35 {
+            // Read an existing or absent key.
+            let k = if rng.next_below(2) == 0 && !model.is_empty() {
+                *model
+                    .keys()
+                    .nth(rng.next_below(model.len() as u64) as usize % model.len().min(50))
+                    .unwrap()
+            } else {
+                rng.next_u64() | 1
+            };
+            assert_eq!(idx.get(k), model.get(&k).copied(), "get {k} at step {step}");
+        } else if roll < 65 {
+            // Insert a fresh key (from the reserved pool or random).
+            let k = if extra_cursor < extra.len() && rng.next_below(2) == 0 {
+                extra_cursor += 1;
+                extra[extra_cursor - 1]
+            } else {
+                rng.next_u64() | 1
+            };
+            let expect = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                e.insert(k ^ 7);
+                Ok(())
+            } else {
+                Err(IndexError::DuplicateKey)
+            };
+            assert_eq!(idx.insert(k, k ^ 7), expect, "insert {k} at step {step}");
+        } else if roll < 80 {
+            // Update.
+            let k = pairs[rng.next_below(pairs.len() as u64) as usize].0;
+            let expect = if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(k)
+            {
+                e.insert(step);
+                Ok(())
+            } else {
+                Err(IndexError::KeyNotFound)
+            };
+            assert_eq!(idx.update(k, step), expect, "update {k} at step {step}");
+        } else if roll < 92 {
+            // Remove.
+            let k = pairs[rng.next_below(pairs.len() as u64) as usize].0;
+            assert_eq!(idx.remove(k), model.remove(&k), "remove {k} at step {step}");
+        } else {
+            // Range.
+            let lo = rng.next_u64() | 1;
+            let hi = lo.saturating_add(rng.next_u64() % (1 << 40));
+            let mut got = Vec::new();
+            idx.range(lo, hi, &mut got);
+            let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "range {lo}..={hi} at step {step}");
+        }
+    }
+    assert_eq!(idx.len(), model.len(), "final length");
+}
+
+macro_rules! equivalence_tests {
+    ($($name:ident: $ty:ty, $ds:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let pairs = generate_pairs($ds, 30_000, 77);
+                let bulk: Vec<(u64, u64)> = pairs.iter().step_by(2).copied().collect();
+                let idx = <$ty>::bulk_load(&bulk);
+                check_index(idx, $ds, 77);
+            }
+        )*
+    };
+}
+
+equivalence_tests! {
+    alt_matches_btreemap_fb: AltIndex, Dataset::Fb;
+    alt_matches_btreemap_libio: AltIndex, Dataset::Libio;
+    alt_matches_btreemap_osm: AltIndex, Dataset::Osm;
+    alt_matches_btreemap_longlat: AltIndex, Dataset::Longlat;
+    art_matches_btreemap_osm: Art, Dataset::Osm;
+    art_matches_btreemap_libio: Art, Dataset::Libio;
+    alex_matches_btreemap_osm: AlexLike, Dataset::Osm;
+    alex_matches_btreemap_fb: AlexLike, Dataset::Fb;
+    lipp_matches_btreemap_osm: LippLike, Dataset::Osm;
+    lipp_matches_btreemap_longlat: LippLike, Dataset::Longlat;
+    xindex_matches_btreemap_osm: XIndexLike, Dataset::Osm;
+    xindex_matches_btreemap_libio: XIndexLike, Dataset::Libio;
+    finedex_matches_btreemap_osm: FinedexLike, Dataset::Osm;
+    finedex_matches_btreemap_fb: FinedexLike, Dataset::Fb;
+}
+
+/// Scans must agree as well (default trait scan vs native overrides).
+#[test]
+fn scan_agrees_across_indexes() {
+    let pairs = generate_pairs(Dataset::Fb, 20_000, 5);
+    let model: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+    let indexes: Vec<Box<dyn ConcurrentIndex>> = vec![
+        Box::new(AltIndex::bulk_load(&pairs)),
+        Box::new(Art::bulk_load(&pairs)),
+        Box::new(AlexLike::bulk_load(&pairs)),
+        Box::new(LippLike::bulk_load(&pairs)),
+        Box::new(XIndexLike::bulk_load(&pairs)),
+        Box::new(FinedexLike::bulk_load(&pairs)),
+    ];
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..200 {
+        let lo = pairs[rng.next_below(pairs.len() as u64) as usize].0;
+        let want: Vec<(u64, u64)> = model.range(lo..).take(100).map(|(&k, &v)| (k, v)).collect();
+        for idx in &indexes {
+            let mut got = Vec::new();
+            idx.scan(lo, 100, &mut got);
+            assert_eq!(got, want, "{} scan from {lo}", idx.name());
+        }
+    }
+}

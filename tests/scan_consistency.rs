@@ -1,0 +1,110 @@
+//! Concurrent scan invariants: range and scan results must be sorted,
+//! duplicate-free, within bounds, and must contain every key that was
+//! stably present for the whole scan — across all indexes, under
+//! concurrent writers.
+
+use alt_index::AltIndex;
+use art::Art;
+use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
+use index_api::{BulkLoad, ConcurrentIndex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Stable keys are even multiples of 8 (never touched); writers churn
+/// odd offsets around them.
+fn scan_under_churn<I: ConcurrentIndex + 'static>(idx: Arc<I>) {
+    let stable: Vec<(u64, u64)> = (1..=20_000u64).map(|i| (i * 8, i)).collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..3u64)
+        .map(|t| {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = datasets::rng::SplitMix64::new(t + 100);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = (rng.next_below(20_000) + 1) * 8 + 1 + t * 2;
+                    if rng.next_below(2) == 0 {
+                        let _ = idx.insert(k, k);
+                    } else {
+                        let _ = idx.remove(k);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for round in 0..60 {
+        let lo = (round % 50) * 1_000 + 1;
+        let hi = lo + 40_000;
+        out.clear();
+        idx.range(lo, hi, &mut out);
+        // Sorted, unique, in-bounds.
+        for w in out.windows(2) {
+            assert!(w[0].0 < w[1].0, "{}: unsorted/dup at {:?}", idx.name(), w);
+        }
+        assert!(out.iter().all(|&(k, _)| k >= lo && k <= hi));
+        // Every stable key in range must be present with its value.
+        let got: std::collections::HashMap<u64, u64> = out.iter().copied().collect();
+        for &(k, v) in stable.iter().filter(|&&(k, _)| k >= lo && k <= hi) {
+            assert_eq!(
+                got.get(&k),
+                Some(&v),
+                "{}: stable key {k} missing",
+                idx.name()
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+}
+
+macro_rules! scan_tests {
+    ($($name:ident: $ty:ty;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let stable: Vec<(u64, u64)> = (1..=20_000u64).map(|i| (i * 8, i)).collect();
+                let idx = Arc::new(<$ty>::bulk_load(&stable));
+                scan_under_churn(idx);
+            }
+        )*
+    };
+}
+
+scan_tests! {
+    scan_churn_alt: AltIndex;
+    scan_churn_art: Art;
+    scan_churn_alex: AlexLike;
+    scan_churn_lipp: LippLike;
+    scan_churn_xindex: XIndexLike;
+    scan_churn_finedex: FinedexLike;
+}
+
+/// scan(lo, n) must equal the first n entries of range(lo, MAX) at rest.
+#[test]
+fn scan_equals_range_prefix_at_rest() {
+    let pairs = datasets::generate_pairs(datasets::Dataset::Longlat, 30_000, 4);
+    let indexes: Vec<Box<dyn ConcurrentIndex>> = vec![
+        Box::new(AltIndex::bulk_load(&pairs)),
+        Box::new(Art::bulk_load(&pairs)),
+        Box::new(AlexLike::bulk_load(&pairs)),
+        Box::new(LippLike::bulk_load(&pairs)),
+        Box::new(XIndexLike::bulk_load(&pairs)),
+        Box::new(FinedexLike::bulk_load(&pairs)),
+    ];
+    let mut rng = datasets::rng::SplitMix64::new(8);
+    for _ in 0..100 {
+        let lo = pairs[rng.next_below(pairs.len() as u64) as usize].0 + rng.next_below(3);
+        for idx in &indexes {
+            let mut scanned = Vec::new();
+            idx.scan(lo, 37, &mut scanned);
+            let mut ranged = Vec::new();
+            idx.range(lo, u64::MAX, &mut ranged);
+            ranged.truncate(37);
+            assert_eq!(scanned, ranged, "{} from {lo}", idx.name());
+        }
+    }
+}
