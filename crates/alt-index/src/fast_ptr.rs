@@ -145,6 +145,10 @@ impl FastPointerBuffer {
                 return NO_FAST;
             };
             let _g = self.append_lock.lock();
+            // Widen the gap between LCA resolution and slot installation:
+            // a node replacement landing here must drive the Obsolete
+            // retry path, never a stale pointer.
+            crate::chaos_hook::point("fastptr.register.locked");
             let idx = self.len.load(Ordering::Acquire);
             let (seg, off) = locate(idx as usize);
             self.ensure_segment(seg);
@@ -158,6 +162,7 @@ impl FastPointerBuffer {
             // because lca_node and this call happen back-to-back — if the
             // node was replaced in between, the version lock inside
             // reports Obsolete and we retry.
+            crate::chaos_hook::point("fastptr.merge.pre_install");
             match unsafe { art.try_set_buffer_slot(node, idx) } {
                 SetSlotResult::Installed => return idx,
                 SetSlotResult::Merged(existing) => {

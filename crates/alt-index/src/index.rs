@@ -43,6 +43,11 @@ pub struct AltIndex {
     pub(crate) dir_lock: Mutex<()>,
     pub(crate) len: AtomicUsize,
     pub(crate) retrains: AtomicUsize,
+    /// Bumped immediately before every directory swap. Scans snapshot it
+    /// before reading ART and re-check it after walking the slots: an
+    /// unchanged epoch proves no retrain published (and therefore no
+    /// ART absorption started a new generation) mid-scan.
+    pub(crate) dir_epoch: AtomicUsize,
 }
 
 impl AltIndex {
@@ -68,6 +73,7 @@ impl AltIndex {
             dir_lock: Mutex::new(()),
             len: AtomicUsize::new(pairs.len()),
             retrains: AtomicUsize::new(0),
+            dir_epoch: AtomicUsize::new(0),
         };
         idx.register_all_fast_pointers();
         idx
@@ -258,6 +264,11 @@ impl AltIndex {
         if key == 0 {
             return Err(IndexError::ReservedKey);
         }
+        enum Placed {
+            Slot,
+            Art,
+            Dup,
+        }
         let mut want_retrain = false;
         let res = loop {
             let guard = epoch::pin();
@@ -268,41 +279,46 @@ impl AltIndex {
                 continue;
             }
             let pred = m.predict(key);
-            let (state, _ver) = m.slots.read(pred);
-            match state {
-                SlotState::Occupied { key: k, .. } if k == key => {
-                    break Err(IndexError::DuplicateKey);
+            // The whole slot-vs-ART placement decision runs under the
+            // predicted slot's write lock. That slot is the per-key
+            // serialization point: every inserter of `key` under this
+            // model generation predicts the same slot, so holding its
+            // lock across the ART presence check / ART publication means
+            // a racing claim and a racing ART insert of the same key can
+            // never interleave. The earlier publish-then-recheck protocol
+            // let a losing insert transiently expose its value through
+            // ART before undoing it — a failed insert whose value
+            // concurrent readers could observe (caught by the chaos
+            // testkit's oracle).
+            let placed = m.slots.with_write(pred, |g| match g.state() {
+                SlotState::Occupied { key: k, .. } if k == key => Placed::Dup,
+                SlotState::Empty => {
+                    g.install(key, value);
+                    Placed::Slot
                 }
-                SlotState::Empty => match m.slots.claim(pred, key, value) {
-                    ClaimResult::Written => break Ok(()),
-                    ClaimResult::SameKey { .. } => break Err(IndexError::DuplicateKey),
-                    ClaimResult::OtherKey => continue,
-                },
                 SlotState::Tombstone => {
                     // The key may still live in ART from before the
-                    // resident was removed.
+                    // resident was removed; checked under the lock so the
+                    // answer cannot go stale before we claim.
                     if self.art_get(m, key).is_some() {
-                        break Err(IndexError::DuplicateKey);
-                    }
-                    match m.slots.claim(pred, key, value) {
-                        ClaimResult::Written => break Ok(()),
-                        ClaimResult::SameKey { .. } => break Err(IndexError::DuplicateKey),
-                        ClaimResult::OtherKey => continue,
+                        Placed::Dup
+                    } else {
+                        g.install(key, value);
+                        Placed::Slot
                     }
                 }
                 SlotState::Occupied { .. } => {
-                    if !self.art_insert(m, key, value) {
-                        break Err(IndexError::DuplicateKey);
+                    if self.art_insert(m, key, value) {
+                        Placed::Art
+                    } else {
+                        Placed::Dup
                     }
-                    // Double-insert guard: if a racing thread installed the
-                    // same key into this (tombstoned-then-reclaimed) slot
-                    // while we inserted into ART, keep the slot copy.
-                    if let (SlotState::Occupied { key: k, .. }, _) = m.slots.read(pred) {
-                        if k == key {
-                            self.art.remove(key);
-                            break Err(IndexError::DuplicateKey);
-                        }
-                    }
+                }
+            });
+            match placed {
+                Placed::Dup => break Err(IndexError::DuplicateKey),
+                Placed::Slot => break Ok(()),
+                Placed::Art => {
                     let overflow = m.art_inserts.fetch_add(1, Ordering::Relaxed) + 1;
                     // A model built when ART was shallow has no shortcut
                     // (or a near-root one). (Re-)resolve the LCA lazily as
@@ -343,6 +359,15 @@ impl AltIndex {
         loop {
             let dir = self.dir_ref(&guard);
             let m = dir.model_for(key);
+            // The op lock + retired re-check are load-bearing for every
+            // slot writer: retraining collects slot contents under the
+            // write side, so a slot update outside the read side can land
+            // after collection and be silently dropped by the directory
+            // swap (lost update — found by the chaos testkit oracle).
+            let _rl = m.op_lock.read();
+            if m.is_retired() {
+                continue;
+            }
             let pred = m.predict(key);
             let (state, ver) = m.slots.read(pred);
             match state {

@@ -42,6 +42,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod api;
+pub(crate) mod chaos_hook;
 pub mod config;
 pub mod dir;
 pub mod fast_ptr;

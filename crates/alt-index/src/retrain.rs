@@ -98,14 +98,23 @@ impl AltIndex {
             }
         }
 
-        // Publish the new directory and retire the old snapshot.
+        // Publish the new directory and retire the old snapshot. The
+        // epoch bump must precede the swap: scans that saw the old epoch
+        // and miss this swap will re-read it, notice the change, and
+        // retry instead of mixing an old slot walk with a post-absorb
+        // ART view.
         let new_dir = dir.replace(mi, models);
+        self.dir_epoch.fetch_add(1, Ordering::Release);
+        crate::chaos_hook::point("retrain.pre_swap");
         let old = self
             .dir
             .swap(epoch::Owned::new(new_dir), Ordering::AcqRel, &guard);
         // SAFETY: `old` was just unlinked under `dir_lock`; readers still
         // holding it are protected by their epoch pins.
         unsafe { guard.defer_destroy(old) };
+        // Widen the window between directory publication and the retired
+        // flag — readers caught here must still find every key.
+        crate::chaos_hook::point("retrain.post_swap");
         m.retired.store(true, Ordering::Release);
 
         // Remove the ART keys the new slots absorbed (everything in the
@@ -119,6 +128,7 @@ impl AltIndex {
                 }
                 let still_conflicts = ci < conflicts.len() && conflicts[ci].0 == k;
                 if !still_conflicts {
+                    crate::chaos_hook::point("retrain.absorb_remove");
                     self.art.remove(k);
                 }
             }

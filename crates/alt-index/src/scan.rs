@@ -9,10 +9,18 @@
 use crate::index::AltIndex;
 use crate::slots::SlotState;
 use crossbeam_epoch as epoch;
+use std::sync::atomic::Ordering;
 
 impl AltIndex {
     /// Append every `(key, value)` with `lo <= key <= hi`, ascending.
     /// Returns the number appended.
+    ///
+    /// Ordering against concurrent structure changes: ART is read
+    /// *before* the slot walk (write-back claims the slot before deleting
+    /// the ART copy, so a key missing from the later ART read is already
+    /// visible in the slots), and the whole collection retries if the
+    /// directory epoch moved (a retrain absorbed ART keys into slots we
+    /// may have walked too early — §III-F redirection for scans).
     pub fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) -> usize {
         let before = out.len();
         if lo > hi {
@@ -20,33 +28,43 @@ impl AltIndex {
         }
         let lo = lo.max(1); // key 0 is reserved
         let guard = epoch::pin();
-        let dir = self.dir_ref(&guard);
 
-        // Step 1: learned layer walk. Placement is monotone, so the
-        // window [predict(lo), predict(hi)] bounds the qualifying slots
-        // within each model — no need to touch the rest.
         let mut learned: Vec<(u64, u64)> = Vec::new();
-        let start = dir.locate(lo);
-        for mi in start..dir.len() {
-            let m = &dir.models[mi];
-            if m.first_key > hi {
-                // Every key in this and later models exceeds hi.
-                break;
-            }
-            let s0 = if mi == start { m.predict(lo) } else { 0 };
-            let s1 = m.predict(hi); // clamped to capacity-1 internally
-            for slot in s0..=s1 {
-                if let (SlotState::Occupied { key, value }, _) = m.slots.read(slot) {
-                    if key >= lo && key <= hi {
-                        learned.push((key, value));
+        let mut art_side: Vec<(u64, u64)> = Vec::new();
+        loop {
+            learned.clear();
+            art_side.clear();
+            let epoch_pre = self.dir_epoch.load(Ordering::Acquire);
+
+            // Step 1: ART range.
+            self.art.range(lo, hi, &mut art_side);
+
+            // Step 2: learned layer walk (after the ART read — see
+            // above). Placement is monotone, so the window
+            // [predict(lo), predict(hi)] bounds the qualifying slots
+            // within each model — no need to touch the rest.
+            let dir = self.dir_ref(&guard);
+            let start = dir.locate(lo);
+            for mi in start..dir.len() {
+                let m = &dir.models[mi];
+                if m.first_key > hi {
+                    // Every key in this and later models exceeds hi.
+                    break;
+                }
+                let s0 = if mi == start { m.predict(lo) } else { 0 };
+                let s1 = m.predict(hi); // clamped to capacity-1 internally
+                for slot in s0..=s1 {
+                    if let (SlotState::Occupied { key, value }, _) = m.slots.read(slot) {
+                        if key >= lo && key <= hi {
+                            learned.push((key, value));
+                        }
                     }
                 }
             }
+            if self.dir_epoch.load(Ordering::Acquire) == epoch_pre {
+                break;
+            }
         }
-
-        // Step 2: ART range.
-        let mut art_side: Vec<(u64, u64)> = Vec::new();
-        self.art.range(lo, hi, &mut art_side);
 
         // Merge (both ascending); on the transient double-presence the
         // learned copy wins.
@@ -82,29 +100,41 @@ impl AltIndex {
         }
         let lo = lo.max(1);
         let guard = epoch::pin();
-        let dir = self.dir_ref(&guard);
 
-        // Collect up to n from the learned layer, starting at lo's
-        // predicted slot (placement is monotone).
+        // Same ordering discipline as `range`: ART first, slots second,
+        // retry when the directory epoch moves mid-collection.
         let mut learned: Vec<(u64, u64)> = Vec::with_capacity(n);
-        let start = dir.locate(lo);
-        'outer: for mi in start..dir.len() {
-            let m = &dir.models[mi];
-            let s0 = if mi == start { m.predict(lo) } else { 0 };
-            for slot in s0..m.slots.capacity() {
-                if let (SlotState::Occupied { key, value }, _) = m.slots.read(slot) {
-                    if key >= lo {
-                        learned.push((key, value));
-                        if learned.len() >= n {
-                            break 'outer;
+        let mut art_side: Vec<(u64, u64)> = Vec::with_capacity(n);
+        loop {
+            learned.clear();
+            art_side.clear();
+            let epoch_pre = self.dir_epoch.load(Ordering::Acquire);
+
+            // Collect up to n from ART.
+            self.art.scan_n(lo, n, &mut art_side);
+
+            // Collect up to n from the learned layer, starting at lo's
+            // predicted slot (placement is monotone).
+            let dir = self.dir_ref(&guard);
+            let start = dir.locate(lo);
+            'outer: for mi in start..dir.len() {
+                let m = &dir.models[mi];
+                let s0 = if mi == start { m.predict(lo) } else { 0 };
+                for slot in s0..m.slots.capacity() {
+                    if let (SlotState::Occupied { key, value }, _) = m.slots.read(slot) {
+                        if key >= lo {
+                            learned.push((key, value));
+                            if learned.len() >= n {
+                                break 'outer;
+                            }
                         }
                     }
                 }
             }
+            if self.dir_epoch.load(Ordering::Acquire) == epoch_pre {
+                break;
+            }
         }
-        // Collect up to n from ART.
-        let mut art_side: Vec<(u64, u64)> = Vec::with_capacity(n);
-        self.art.scan_n(lo, n, &mut art_side);
 
         // Merge-truncate.
         let (mut i, mut j) = (0usize, 0usize);

@@ -139,8 +139,15 @@ impl SlotArray {
                 continue;
             }
             let key = self.slots[i].key.load(Ordering::Acquire);
+            crate::chaos_hook::point("slots.read.between_loads");
             let value = self.slots[i].value.load(Ordering::Acquire);
-            if self.slots[i].version.load(Ordering::Acquire) != v1 {
+            crate::chaos_hook::point("slots.read.pre_validate");
+            // The mutation self-test deliberately skips this re-validation
+            // (chaos-mutate builds only) to prove the harness catches the
+            // resulting torn reads.
+            if !crate::chaos_hook::mutate_skip_slot_revalidation()
+                && self.slots[i].version.load(Ordering::Acquire) != v1
+            {
                 continue;
             }
             let state = if key == 0 {
@@ -164,6 +171,9 @@ impl SlotArray {
                     .compare_exchange_weak(v, v + 1, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
             {
+                // Stretch the odd-version (writer-in-progress) window so
+                // racing readers actually observe it.
+                crate::chaos_hook::point("slots.lock.held");
                 return v;
             }
             backoff(&mut spins);
@@ -177,59 +187,66 @@ impl SlotArray {
             .store(pre.wrapping_add(2), Ordering::Release);
     }
 
+    /// Run `f` with slot `i` write-locked (version odd). The guard gives
+    /// exclusive read/write access to the slot; concurrent optimistic
+    /// readers spin (or retry their validation) until `f` returns. The
+    /// lock is released even if `f` panics.
+    ///
+    /// This is the per-slot serialization point: callers that must make a
+    /// multi-step decision atomically against other slot writers (e.g.
+    /// "claim unless the key already lives elsewhere") do the whole
+    /// decision inside `f`.
+    pub fn with_write<R>(&self, i: usize, f: impl FnOnce(&SlotGuard<'_>) -> R) -> R {
+        struct Unlock<'a>(&'a SlotArray, usize, u32);
+        impl Drop for Unlock<'_> {
+            fn drop(&mut self) {
+                self.0.unlock(self.1, self.2);
+            }
+        }
+        let pre = self.lock(i);
+        let _unlock = Unlock(self, i, pre);
+        f(&SlotGuard { arr: self, i })
+    }
+
     /// Try to install `(key, value)` into slot `i`. Claims the slot if it
     /// is empty or a tombstone; reports who owns it otherwise. This is the
     /// write-write conflict protocol of §III-E.
     pub fn claim(&self, i: usize, key: u64, value: u64) -> ClaimResult {
-        debug_assert_ne!(key, 0);
-        let pre = self.lock(i);
-        let res = if !self.occupied_bit(i) {
-            self.slots[i].key.store(key, Ordering::Release);
-            self.slots[i].value.store(value, Ordering::Release);
-            self.set_occupied(i);
-            ClaimResult::Written
-        } else {
-            let cur = self.slots[i].key.load(Ordering::Acquire);
-            if cur == 0 {
-                self.slots[i].key.store(key, Ordering::Release);
-                self.slots[i].value.store(value, Ordering::Release);
+        self.with_write(i, |g| match g.state() {
+            SlotState::Empty | SlotState::Tombstone => {
+                g.install(key, value);
                 ClaimResult::Written
-            } else if cur == key {
-                ClaimResult::SameKey {
-                    value: self.slots[i].value.load(Ordering::Acquire),
-                }
-            } else {
-                ClaimResult::OtherKey
             }
-        };
-        self.unlock(i, pre);
-        res
+            SlotState::Occupied { key: cur, value: v } if cur == key => {
+                ClaimResult::SameKey { value: v }
+            }
+            SlotState::Occupied { .. } => ClaimResult::OtherKey,
+        })
     }
 
     /// Update the value of slot `i` if it currently holds `key`.
     pub fn update_if_key(&self, i: usize, key: u64, value: u64) -> bool {
-        let pre = self.lock(i);
-        let ok = self.occupied_bit(i) && self.slots[i].key.load(Ordering::Acquire) == key;
-        if ok {
-            self.slots[i].value.store(value, Ordering::Release);
-        }
-        self.unlock(i, pre);
-        ok
+        self.with_write(i, |g| {
+            let ok = matches!(g.state(), SlotState::Occupied { key: k, .. } if k == key);
+            crate::chaos_hook::point("slots.update.locked");
+            if ok {
+                g.set_value(value);
+            }
+            ok
+        })
     }
 
     /// Tombstone slot `i` if it currently holds `key`; returns the removed
     /// value.
     pub fn remove_if_key(&self, i: usize, key: u64) -> Option<u64> {
-        let pre = self.lock(i);
-        let res = if self.occupied_bit(i) && self.slots[i].key.load(Ordering::Acquire) == key {
-            let v = self.slots[i].value.load(Ordering::Acquire);
-            self.slots[i].key.store(0, Ordering::Release);
-            Some(v)
-        } else {
-            None
-        };
-        self.unlock(i, pre);
-        res
+        self.with_write(i, |g| match g.state() {
+            SlotState::Occupied { key: k, value } if k == key => {
+                crate::chaos_hook::point("slots.remove.pre_tombstone");
+                g.clear();
+                Some(value)
+            }
+            _ => None,
+        })
     }
 
     /// Bulk placement during (re)construction: the array is still private
@@ -259,6 +276,64 @@ impl SlotArray {
         let mut n = 0;
         self.for_each_live(|_, _, _| n += 1);
         n
+    }
+}
+
+/// Exclusive access to one write-locked slot, handed to
+/// [`SlotArray::with_write`] closures. No version dance is needed inside:
+/// the version is odd for the guard's whole lifetime, so optimistic
+/// readers cannot validate against anything the closure does.
+pub struct SlotGuard<'a> {
+    arr: &'a SlotArray,
+    i: usize,
+}
+
+impl SlotGuard<'_> {
+    /// The slot's current state, read under the lock.
+    pub fn state(&self) -> SlotState {
+        if !self.arr.occupied_bit(self.i) {
+            return SlotState::Empty;
+        }
+        let key = self.arr.slots[self.i].key.load(Ordering::Acquire);
+        if key == 0 {
+            SlotState::Tombstone
+        } else {
+            SlotState::Occupied {
+                key,
+                value: self.arr.slots[self.i].value.load(Ordering::Acquire),
+            }
+        }
+    }
+
+    /// Install `(key, value)`, claiming the slot. Callers branch on
+    /// [`SlotGuard::state`] first; installing over a live *different* key
+    /// would lose its entry.
+    pub fn install(&self, key: u64, value: u64) {
+        debug_assert_ne!(key, 0);
+        let slot = &self.arr.slots[self.i];
+        if self.arr.occupied_bit(self.i) {
+            slot.key.store(key, Ordering::Release);
+            // Tombstone reclaim by a *different* key: the window between
+            // the two stores is where skipped read-side re-validation
+            // leaks the old resident's value.
+            crate::chaos_hook::point("slots.claim.tombstone_write");
+            slot.value.store(value, Ordering::Release);
+        } else {
+            slot.key.store(key, Ordering::Release);
+            crate::chaos_hook::point("slots.claim.mid_write");
+            slot.value.store(value, Ordering::Release);
+            self.arr.set_occupied(self.i);
+        }
+    }
+
+    /// Overwrite the value, leaving the key in place.
+    pub fn set_value(&self, value: u64) {
+        self.arr.slots[self.i].value.store(value, Ordering::Release);
+    }
+
+    /// Tombstone the slot (key := 0).
+    pub fn clear(&self) {
+        self.arr.slots[self.i].key.store(0, Ordering::Release);
     }
 }
 

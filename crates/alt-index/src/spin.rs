@@ -31,6 +31,9 @@ impl SpinLock {
         let mut spins = 0u32;
         loop {
             if !self.flag.swap(true, Ordering::Acquire) {
+                // Stretch the critical section so lock-free readers race
+                // the locked writer more often.
+                crate::chaos_hook::point("spin.lock.held");
                 return SpinGuard(self);
             }
             while self.flag.load(Ordering::Relaxed) {

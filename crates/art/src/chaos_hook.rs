@@ -1,0 +1,19 @@
+//! Forwarder to `testkit`'s chaos engine, compiled away entirely unless
+//! the `chaos` feature is enabled.
+//!
+//! Sites instrumented in this crate: the OLC version-lock protocol
+//! (`olc.rs`: snapshot, validate, upgrade) and the fast-pointer jump
+//! entry points (`jump.rs`).
+
+/// Schedule-perturbation point. No-op (inlined empty fn) without the
+/// `chaos` feature.
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn point(site: &'static str) {
+    testkit::chaos::point(site);
+}
+
+/// Schedule-perturbation point (disabled build): compiles to nothing.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn point(_site: &'static str) {}

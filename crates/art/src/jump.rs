@@ -51,6 +51,10 @@ impl Art {
         if hdr.version.is_obsolete() {
             return FromResult::Fallback;
         }
+        // Widen the gap between the obsolete check and the descent — a
+        // replacement landing here must still end in Fallback or a valid
+        // read, never a torn traversal.
+        crate::chaos_hook::point("jump.get_from.entry");
         let depth = hdr.match_level();
         // Retry locally on version conflicts; fall back if the node dies.
         loop {

@@ -25,6 +25,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod api;
+pub(crate) mod chaos_hook;
 mod jump;
 mod node;
 mod olc;

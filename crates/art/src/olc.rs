@@ -47,6 +47,9 @@ impl VersionLock {
         if v & LOCK_BIT != 0 {
             return None;
         }
+        // Widen the snapshot-to-use window: whatever the reader does with
+        // this version must survive a writer slipping in right here.
+        crate::chaos_hook::point("olc.read_lock");
         Some(v)
     }
 
@@ -62,6 +65,7 @@ impl VersionLock {
                 return None;
             }
             if v & LOCK_BIT == 0 {
+                crate::chaos_hook::point("olc.read_lock_spin");
                 return Some(v);
             }
             backoff(&mut spins);
@@ -72,6 +76,10 @@ impl VersionLock {
     /// node was not locked or marked obsolete in between).
     #[inline]
     pub fn validate(&self, snapshot: Version) -> bool {
+        // Delay *before* the validating load: reads done since the
+        // snapshot stay exposed to concurrent writers a little longer, so
+        // a buggy caller that skips re-reads gets caught.
+        crate::chaos_hook::point("olc.validate");
         self.word.load(Ordering::Acquire) == snapshot
     }
 
@@ -79,6 +87,7 @@ impl VersionLock {
     /// `false`) if the version moved.
     #[inline]
     pub fn upgrade(&self, snapshot: Version) -> bool {
+        crate::chaos_hook::point("olc.upgrade");
         self.word
             .compare_exchange(
                 snapshot,

@@ -1,0 +1,197 @@
+//! Scan-under-mutation stress: range scans race writer threads that
+//! insert through the fast-pointer jump path (`get_from`/`insert_from`
+//! resume descents at the jump node's `match_level`). The scans must
+//! never return a torn pair (value not matching the key's committed
+//! value) and never skip a key that was committed before the scan began.
+
+use art::{Art, FromResult, ReplaceHook, SetSlotResult};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Every value committed anywhere in this test is `key ^ MAGIC`, so a
+/// torn key/value pairing is detectable from the pair alone.
+const MAGIC: u64 = 0xDEAD_BEEF_CAFE_F00D;
+
+/// A miniature one-slot fast-pointer buffer kept current by the tree's
+/// replace hook, as the ALT-index buffer does at scale.
+struct OneSlot(AtomicUsize);
+
+impl ReplaceHook for OneSlot {
+    fn node_replaced(&self, _slot: u32, new_node: usize) {
+        self.0.store(new_node, Ordering::Release);
+    }
+}
+
+struct OneSlotHookProxy(Arc<OneSlot>);
+
+impl ReplaceHook for OneSlotHookProxy {
+    fn node_replaced(&self, slot: u32, new_node: usize) {
+        self.0.node_replaced(slot, new_node);
+    }
+}
+
+fn register(art: &Art, buf: &OneSlot, k1: u64, k2: u64) -> bool {
+    for _ in 0..64 {
+        let Some((node, _)) = art.lca_node(k1, k2) else {
+            return false;
+        };
+        buf.0.store(node, Ordering::Release);
+        // SAFETY: node fresh from lca_node; retried on Obsolete.
+        match unsafe { art.try_set_buffer_slot(node, 0) } {
+            SetSlotResult::Installed | SetSlotResult::Merged(_) => return true,
+            SetSlotResult::Obsolete => continue,
+        }
+    }
+    false
+}
+
+#[test]
+fn scans_racing_jump_inserts_see_no_torn_or_skipped_pairs() {
+    let buf = Arc::new(OneSlot(AtomicUsize::new(0)));
+    let art = Arc::new(Art::with_hook(Arc::new(OneSlotHookProxy(Arc::clone(&buf)))));
+
+    // Committed cluster: keys sharing 4 high bytes so the LCA sits deep
+    // (non-zero match_level) and every jump resumes mid-key.
+    let base = 0x0A0B_0C0D_0000_0000u64;
+    let committed: Vec<u64> = (1..=3_000u64).map(|i| base + i * 32).collect();
+    for &k in &committed {
+        art.insert(k, k ^ MAGIC);
+    }
+    // Root fanout so jumps actually skip levels.
+    for i in 1..=32u64 {
+        art.insert(i << 56 | 0x77, (i << 56 | 0x77) ^ MAGIC);
+    }
+    let lo = committed[0];
+    let hi = *committed.last().unwrap();
+    assert!(register(&art, &buf, lo, hi), "registration failed");
+    // The cluster's shared bytes are path-compressed into the LCA's
+    // prefix, so jumps resume below the root with a non-trivial
+    // match_level-relative descent.
+    assert!(art.lca_node(lo, hi).is_some());
+
+    let writers = 4usize;
+    let scanners = 4usize;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(writers + scanners));
+
+    std::thread::scope(|s| {
+        // Writers: insert fresh odd-offset keys inside [lo, hi] through
+        // the jump pointer (root fallback), forcing expansions and prefix
+        // extractions under the scanners' feet.
+        let mut writer_handles = Vec::new();
+        for t in 0..writers as u64 {
+            let art = Arc::clone(&art);
+            let buf = Arc::clone(&buf);
+            let barrier = Arc::clone(&barrier);
+            let stop = Arc::clone(&stop);
+            writer_handles.push(s.spawn(move || {
+                barrier.wait();
+                let mut mine = Vec::new();
+                for i in 0..12_000u64 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Odd offsets between the committed stride-32 keys,
+                    // inside the registered interval [lo, hi]; `t*2+1`
+                    // keeps the writers' key sets disjoint.
+                    let k = lo + i * 8 + t * 2 + 1;
+                    if k >= hi {
+                        break;
+                    }
+                    let node = buf.0.load(Ordering::Acquire);
+                    let ins = if node != 0 {
+                        // SAFETY: hook-maintained pointer; k in [lo, hi].
+                        match unsafe { art.insert_from(node, k, k ^ MAGIC) } {
+                            FromResult::Done(ins, _) => ins,
+                            FromResult::Fallback => art.insert(k, k ^ MAGIC),
+                        }
+                    } else {
+                        art.insert(k, k ^ MAGIC)
+                    };
+                    if ins {
+                        mine.push(k);
+                    }
+                }
+                mine
+            }));
+        }
+
+        // Scanners: sliding sub-windows over the cluster. Checked per
+        // scan: strict ascending order, no torn pair, and every
+        // pre-committed key inside the window present.
+        let mut scan_handles = Vec::new();
+        for sid in 0..scanners as u64 {
+            let art = Arc::clone(&art);
+            let buf = Arc::clone(&buf);
+            let committed = &committed;
+            let barrier = Arc::clone(&barrier);
+            scan_handles.push(s.spawn(move || {
+                barrier.wait();
+                let mut out = Vec::new();
+                for round in 0..400u64 {
+                    let wi = ((sid * 997 + round * 131) % 2_900) as usize;
+                    let wlo = committed[wi];
+                    let whi = committed[wi + 100];
+                    out.clear();
+                    art.range(wlo, whi, &mut out);
+                    for w in out.windows(2) {
+                        assert!(w[0].0 < w[1].0, "scan out of order: {w:?}");
+                    }
+                    for &(k, v) in &out {
+                        assert!(
+                            (wlo..=whi).contains(&k),
+                            "scan leaked key {k:#x} outside [{wlo:#x},{whi:#x}]"
+                        );
+                        assert_eq!(v, k ^ MAGIC, "torn pair for key {k:#x}");
+                    }
+                    let mut it = out.iter();
+                    for &ck in &committed[wi..=wi + 100] {
+                        assert!(
+                            it.any(|&(k, _)| k == ck),
+                            "scan skipped committed key {ck:#x} in round {round}"
+                        );
+                    }
+                    // Interleave jump point-reads so scans and jumps
+                    // contend on the same subtree versions.
+                    let probe = committed[(wi * 7 + 13) % committed.len()];
+                    let node = buf.0.load(Ordering::Acquire);
+                    let got = if node != 0 {
+                        // SAFETY: hook-maintained pointer.
+                        match unsafe { art.get_from(node, probe) } {
+                            FromResult::Done(v, _) => v,
+                            FromResult::Fallback => art.get(probe),
+                        }
+                    } else {
+                        art.get(probe)
+                    };
+                    assert_eq!(got, Some(probe ^ MAGIC), "jump read of {probe:#x}");
+                }
+            }));
+        }
+
+        for h in scan_handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut inserted: Vec<u64> = Vec::new();
+        for h in writer_handles {
+            inserted.extend(h.join().unwrap());
+        }
+
+        // Quiesce: one full scan sees every committed and inserted key,
+        // still untorn.
+        let mut fin = Vec::new();
+        art.range(lo, hi, &mut fin);
+        for &(k, v) in &fin {
+            assert_eq!(v, k ^ MAGIC);
+        }
+        let keys: std::collections::BTreeSet<u64> = fin.iter().map(|&(k, _)| k).collect();
+        for &k in committed.iter() {
+            assert!(keys.contains(&k), "final scan lost committed {k:#x}");
+        }
+        for &k in &inserted {
+            assert!(keys.contains(&k), "final scan lost inserted {k:#x}");
+        }
+        assert_eq!(keys.len(), committed.len() + inserted.len());
+    });
+}

@@ -187,10 +187,12 @@ impl ConcurrentIndex for FinedexLike {
         }
         let m = self.locate(key);
         if let Some(i) = m.find(key) {
-            if m.is_dead(i) {
-                return None;
+            if !m.is_dead(i) {
+                return Some(m.vals[i].load(Ordering::Acquire));
             }
-            return Some(m.vals[i].load(Ordering::Acquire));
+            // Dead array position: a re-inserted key lives in the level
+            // bin (insert falls through the tombstone), so the probe
+            // below must still run.
         }
         // Level-bin probe.
         let b = m.bin_for(key);
@@ -333,8 +335,14 @@ impl FinedexLike {
             };
             emit_bin(0, out);
             // Start the position walk at the first in-window key instead
-            // of the model head.
+            // of the model head. Bin `first` holds keys strictly between
+            // keys[first-1] and keys[first], which can already be >= lo,
+            // and the walk below only emits bins first+1.. — emit it here
+            // (first == 0 is the leading bin, emitted above).
             let first = m.keys.partition_point(|&k| k < lo);
+            if first > 0 {
+                emit_bin(first, out);
+            }
             for i in first..m.keys.len() {
                 let k = m.keys[i];
                 if k > hi {
@@ -351,9 +359,18 @@ impl FinedexLike {
         }
         // Bins at range edges may contribute out-of-window entries that
         // we filtered; ordering is preserved by construction, but guard
-        // against concurrent bin inserts with a sort.
+        // against concurrent bin inserts with a sort. Dedup too: a key
+        // removed from the array and re-inserted mid-scan lands in the
+        // bin *after* its position, so one walk can see both copies.
         out[before..].sort_unstable_by_key(|p| p.0);
-        out.truncate(before + limit);
+        let mut keep = before;
+        for i in before..out.len() {
+            if keep == before || out[keep - 1].0 != out[i].0 {
+                out[keep] = out[i];
+                keep += 1;
+            }
+        }
+        out.truncate(keep.min(before + limit));
         out.len() - before
     }
 }
@@ -422,6 +439,23 @@ mod tests {
         assert_eq!(f.get(10), None);
         assert_eq!(f.get(15), None);
         assert_eq!(f.update(10, 1), Err(IndexError::KeyNotFound));
+    }
+
+    #[test]
+    fn remove_then_reinsert_is_readable_again() {
+        // Regression: a removed array key leaves a tombstone; the
+        // re-insert lands in the level bin, and get must fall through
+        // the tombstone to find it there.
+        let f = FinedexLike::build(&[(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(f.remove(20), Some(2));
+        assert_eq!(f.get(20), None);
+        f.insert(20, 22).unwrap();
+        assert_eq!(f.get(20), Some(22));
+        f.update(20, 23).unwrap();
+        assert_eq!(f.get(20), Some(23));
+        assert_eq!(f.remove(20), Some(23));
+        assert_eq!(f.get(20), None);
+        assert_eq!(f.len(), 2);
     }
 
     #[test]

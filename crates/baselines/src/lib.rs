@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod alex;
+pub(crate) mod chaos_hook;
 pub mod finedex;
 pub mod lipp;
 pub mod rcu;

@@ -31,6 +31,9 @@ impl<T> RcuCell<T> {
     /// serialize replacements externally (e.g. under a structural mutex).
     pub fn replace(&self, value: T, guard: &Guard) {
         let old = self.inner.swap(Owned::new(value), Ordering::AcqRel, guard);
+        // Widen the window between unlink and retire: readers still
+        // holding the old snapshot must be protected by their pins.
+        crate::chaos_hook::point("rcu.replace.unlinked");
         // SAFETY: `old` was just unlinked and replacements are serialized,
         // so no other thread can retire it twice; readers hold guards.
         unsafe { guard.defer_destroy(old) };

@@ -34,6 +34,7 @@ impl SeqLock {
         loop {
             let v = self.v.load(Ordering::Acquire);
             if v & 1 == 0 {
+                crate::chaos_hook::point("seqlock.read_begin");
                 return v;
             }
             backoff(&mut spins);
@@ -43,6 +44,7 @@ impl SeqLock {
     /// True if nothing was written since the snapshot.
     #[inline]
     pub fn read_validate(&self, snapshot: u64) -> bool {
+        crate::chaos_hook::point("seqlock.read_validate");
         self.v.load(Ordering::Acquire) == snapshot
     }
 
@@ -58,6 +60,9 @@ impl SeqLock {
                     .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                // Stretch the odd-version window racing readers must ride
+                // out.
+                crate::chaos_hook::point("seqlock.write_lock.held");
                 return;
             }
             backoff(&mut spins);

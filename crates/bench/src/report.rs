@@ -1,10 +1,8 @@
 //! Result rows: aligned console tables plus JSON lines for downstream
 //! plotting.
 
-use serde::Serialize;
-
 /// One measurement row (superset of what each experiment prints).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Experiment id, e.g. `fig7a`.
     pub experiment: String,
@@ -15,20 +13,44 @@ pub struct Row {
     /// Workload label or sweep parameter name.
     pub workload: String,
     /// Sweep x-value (threads, ε, θ, init ratio …), if any.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub x: Option<f64>,
     /// Throughput, million ops/sec.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub mops: Option<f64>,
     /// P99.9 latency, µs.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub p999_us: Option<f64>,
     /// Generic metric (model count, pointer count, bytes, share…).
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub value: Option<f64>,
     /// What `value` measures.
-    #[serde(skip_serializing_if = "String::is_empty", default)]
     pub metric: String,
+}
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 the way serde_json does: always with a decimal point or
+/// exponent so the value round-trips as a float.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:?}");
+        debug_assert!(s.contains('.') || s.contains('e') || s.contains("inf"));
+        s
+    } else {
+        "null".to_string()
+    }
 }
 
 impl Row {
@@ -84,6 +106,33 @@ impl Row {
         self
     }
 
+    /// Serialize to one compact JSON object, omitting unset optional
+    /// fields (the shape `scripts/summarize_results.py` parses).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"experiment\":\"{}\"", json_escape(&self.experiment)),
+            format!("\"index\":\"{}\"", json_escape(&self.index)),
+            format!("\"dataset\":\"{}\"", json_escape(&self.dataset)),
+            format!("\"workload\":\"{}\"", json_escape(&self.workload)),
+        ];
+        if let Some(x) = self.x {
+            fields.push(format!("\"x\":{}", json_f64(x)));
+        }
+        if let Some(m) = self.mops {
+            fields.push(format!("\"mops\":{}", json_f64(m)));
+        }
+        if let Some(p) = self.p999_us {
+            fields.push(format!("\"p999_us\":{}", json_f64(p)));
+        }
+        if let Some(v) = self.value {
+            fields.push(format!("\"value\":{}", json_f64(v)));
+        }
+        if !self.metric.is_empty() {
+            fields.push(format!("\"metric\":\"{}\"", json_escape(&self.metric)));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+
     /// Print as an aligned console line and a trailing JSON line (prefixed
     /// `#json ` so table parsing stays trivial).
     pub fn emit(&self) {
@@ -104,10 +153,7 @@ impl Row {
             line += &format!(" {}={v:.4}", self.metric);
         }
         println!("{line}");
-        println!(
-            "#json {}",
-            serde_json::to_string(self).expect("row serializes")
-        );
+        println!("#json {}", self.to_json());
     }
 }
 
@@ -128,7 +174,7 @@ mod tests {
             .workload("read-only")
             .mops(12.5)
             .p999(3.2);
-        let js = serde_json::to_string(&r).unwrap();
+        let js = r.to_json();
         assert!(js.contains("\"experiment\":\"fig7a\""));
         assert!(js.contains("\"mops\":12.5"));
         assert!(!js.contains("\"x\""), "unset fields omitted: {js}");
@@ -137,8 +183,23 @@ mod tests {
     #[test]
     fn value_rows_carry_metric_names() {
         let r = Row::new("fig10b").value("fast_pointers", 42.0);
-        let js = serde_json::to_string(&r).unwrap();
+        let js = r.to_json();
         assert!(js.contains("\"metric\":\"fast_pointers\""));
         assert!(js.contains("\"value\":42.0"));
+    }
+
+    #[test]
+    fn json_floats_roundtrip_as_floats() {
+        assert_eq!(super::json_f64(42.0), "42.0");
+        assert_eq!(super::json_f64(12.5), "12.5");
+        assert_eq!(super::json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let r = Row::new("e\"x").index("a\\b");
+        let js = r.to_json();
+        assert!(js.contains("\"experiment\":\"e\\\"x\""));
+        assert!(js.contains("\"index\":\"a\\\\b\""));
     }
 }

@@ -1,0 +1,821 @@
+//! History-recording oracle checker for [`ConcurrentIndex`] workloads.
+//!
+//! Threads execute their operations through a [`Recorder`], which logs
+//! every call and its observed outcome. After the workload quiesces, one
+//! of two checkers validates the per-thread histories plus the final
+//! index state:
+//!
+//! * [`check_disjoint`] — **exact** checking when every key is touched by
+//!   at most one thread. Each thread's history is replayed sequentially
+//!   against a reference `BTreeMap`; every recorded outcome must match
+//!   the model exactly, and the final index contents must equal the
+//!   model's.
+//! * [`check_lww`] — last-writer-wins checking for overlapping key sets,
+//!   where the exact interleaving is unknown. Per key, the checker
+//!   verifies that every observed value was actually written, that
+//!   presence/absence transitions are consistent with *some*
+//!   linearization (successful inserts and removes must alternate), and
+//!   that the final state is reachable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use index_api::{ConcurrentIndex, IndexError, Key, Value};
+
+/// One operation issued against the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Get(Key),
+    /// Insert (fails on duplicate).
+    Insert(Key, Value),
+    /// In-place update (fails on missing key).
+    Update(Key, Value),
+    /// Insert-or-update.
+    Upsert(Key, Value),
+    /// Remove, returning the prior value.
+    Remove(Key),
+    /// Bounded scan: up to `n` pairs starting at the given key. Unlike
+    /// the point ops, a scan observes *many* keys — including, in
+    /// concurrent runs, keys owned by other threads.
+    Scan(Key, usize),
+}
+
+impl Op {
+    /// The single key this operation addresses, or `None` for scans
+    /// (which observe a key range rather than one key).
+    pub fn key(&self) -> Option<Key> {
+        match *self {
+            Op::Get(k) | Op::Insert(k, _) | Op::Update(k, _) | Op::Upsert(k, _) | Op::Remove(k) => {
+                Some(k)
+            }
+            Op::Scan(..) => None,
+        }
+    }
+}
+
+/// The observed result of an [`Op`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Result of a `get`.
+    Read(Option<Value>),
+    /// Result of a `remove`.
+    Removed(Option<Value>),
+    /// Result of an `insert`/`update`/`upsert`.
+    Mutated(Result<(), IndexError>),
+    /// The pairs a `scan` returned.
+    Scanned(Vec<(Key, Value)>),
+}
+
+/// One recorded call: the operation and what the index returned.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// The operation issued.
+    pub op: Op,
+    /// The observed result.
+    pub outcome: Outcome,
+}
+
+/// The ordered operation history of a single thread.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Events in program order.
+    pub events: Vec<Event>,
+}
+
+/// Executes operations against an index while logging them into a
+/// [`History`]. One recorder per worker thread.
+pub struct Recorder<'a> {
+    index: &'a dyn ConcurrentIndex,
+    history: History,
+}
+
+impl<'a> Recorder<'a> {
+    /// A recorder issuing operations against `index`.
+    pub fn new(index: &'a dyn ConcurrentIndex) -> Self {
+        Self {
+            index,
+            history: History::default(),
+        }
+    }
+
+    /// Issue and record a `get`.
+    pub fn get(&mut self, key: Key) -> Option<Value> {
+        let r = self.index.get(key);
+        self.history.events.push(Event {
+            op: Op::Get(key),
+            outcome: Outcome::Read(r),
+        });
+        r
+    }
+
+    /// Issue and record an `insert`.
+    pub fn insert(&mut self, key: Key, value: Value) -> Result<(), IndexError> {
+        let r = self.index.insert(key, value);
+        self.history.events.push(Event {
+            op: Op::Insert(key, value),
+            outcome: Outcome::Mutated(r),
+        });
+        r
+    }
+
+    /// Issue and record an `update`.
+    pub fn update(&mut self, key: Key, value: Value) -> Result<(), IndexError> {
+        let r = self.index.update(key, value);
+        self.history.events.push(Event {
+            op: Op::Update(key, value),
+            outcome: Outcome::Mutated(r),
+        });
+        r
+    }
+
+    /// Issue and record an `upsert`.
+    pub fn upsert(&mut self, key: Key, value: Value) -> Result<(), IndexError> {
+        let r = self.index.upsert(key, value);
+        self.history.events.push(Event {
+            op: Op::Upsert(key, value),
+            outcome: Outcome::Mutated(r),
+        });
+        r
+    }
+
+    /// Issue and record a `remove`.
+    pub fn remove(&mut self, key: Key) -> Option<Value> {
+        let r = self.index.remove(key);
+        self.history.events.push(Event {
+            op: Op::Remove(key),
+            outcome: Outcome::Removed(r),
+        });
+        r
+    }
+
+    /// Issue and record a bounded `scan` of up to `n` pairs from `lo`.
+    pub fn scan(&mut self, lo: Key, n: usize) -> usize {
+        let mut out = Vec::new();
+        self.index.scan(lo, n, &mut out);
+        let count = out.len();
+        self.history.events.push(Event {
+            op: Op::Scan(lo, n),
+            outcome: Outcome::Scanned(out),
+        });
+        count
+    }
+
+    /// Finish recording and hand back the history.
+    pub fn into_history(self) -> History {
+        self.history
+    }
+}
+
+/// A failed oracle check: every violation found, with thread/event
+/// coordinates where applicable.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Human-readable violation descriptions.
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "oracle found {} violation(s):", self.violations.len())?;
+        for (i, v) in self.violations.iter().enumerate().take(20) {
+            writeln!(f, "  [{i}] {v}")?;
+        }
+        if self.violations.len() > 20 {
+            writeln!(f, "  ... and {} more", self.violations.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for OracleReport {}
+
+/// Apply `op` to the reference model and return the outcome a correct
+/// sequential index would produce.
+fn model_apply(model: &mut BTreeMap<Key, Value>, op: Op) -> Outcome {
+    match op {
+        Op::Get(k) => Outcome::Read(model.get(&k).copied()),
+        Op::Insert(k, v) => Outcome::Mutated(if k == index_api::RESERVED_KEY {
+            Err(IndexError::ReservedKey)
+        } else {
+            match model.entry(k) {
+                std::collections::btree_map::Entry::Occupied(_) => Err(IndexError::DuplicateKey),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                    Ok(())
+                }
+            }
+        }),
+        Op::Update(k, v) => Outcome::Mutated(match model.get_mut(&k) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(IndexError::KeyNotFound),
+        }),
+        Op::Upsert(k, v) => Outcome::Mutated(if k == index_api::RESERVED_KEY {
+            Err(IndexError::ReservedKey)
+        } else {
+            model.insert(k, v);
+            Ok(())
+        }),
+        Op::Remove(k) => Outcome::Removed(model.remove(&k)),
+        // Scans observe keys owned by other threads, so even disjoint
+        // replays cannot predict their outcome from one thread's model;
+        // the checkers validate them separately.
+        Op::Scan(..) => unreachable!("scan outcomes are validated out of band"),
+    }
+}
+
+/// Exact expected state for a scan check: the reference model plus a
+/// predicate selecting the keys the checker fully understands.
+type OwnView<'a> = (&'a BTreeMap<Key, Value>, &'a dyn Fn(Key) -> bool);
+
+/// Validate one concurrently-observed scan result against per-mode facts.
+///
+/// * `own_view` — exact expected pairs for keys this checker fully
+///   understands (the scanning thread's own keys plus untouched initial
+///   keys in disjoint mode; `None` in LWW mode where no exact view
+///   exists).
+/// * `written` — every value legitimately written to each key; any
+///   scanned pair outside it is a torn read.
+///
+/// Checks: strict ordering, the `n` bound, value integrity for every
+/// pair, and (when `own_view` is given) exact agreement plus
+/// no-skipped-committed-keys over the covered span `[lo, hi]`.
+#[allow(clippy::too_many_arguments)]
+fn check_scan_event(
+    ctx: &str,
+    lo: Key,
+    n: usize,
+    pairs: &[(Key, Value)],
+    own_view: Option<OwnView<'_>>,
+    written: &BTreeMap<Key, BTreeSet<Value>>,
+    violations: &mut Vec<String>,
+) {
+    if pairs.len() > n {
+        violations.push(format!(
+            "{ctx}: scan(lo={lo}, n={n}) returned {} pairs",
+            pairs.len()
+        ));
+    }
+    for w in pairs.windows(2) {
+        if w[0].0 >= w[1].0 {
+            violations.push(format!(
+                "{ctx}: scan out of order or duplicate keys {} then {}",
+                w[0].0, w[1].0
+            ));
+        }
+    }
+    for &(k, v) in pairs {
+        if k < lo {
+            violations.push(format!("{ctx}: scan(lo={lo}) returned key {k} below lo"));
+        }
+        match written.get(&k) {
+            Some(vals) if vals.contains(&v) => {}
+            Some(_) => violations.push(format!(
+                "{ctx}: scan observed value {v} never written to key {k}"
+            )),
+            None => violations.push(format!(
+                "{ctx}: scan observed key {k} that was never created"
+            )),
+        }
+    }
+    if let Some((model, is_mine)) = own_view {
+        // The span a truncated scan is answerable for ends at its last
+        // returned key; a short scan covers everything past lo.
+        let hi = if pairs.len() == n {
+            match pairs.last() {
+                Some(&(k, _)) => k,
+                None => return,
+            }
+        } else {
+            Key::MAX
+        };
+        let scanned: BTreeMap<Key, Value> = pairs.iter().copied().collect();
+        for (&k, &v) in model.range(lo..=hi) {
+            if !is_mine(k) {
+                continue;
+            }
+            match scanned.get(&k) {
+                Some(&sv) if sv == v => {}
+                Some(&sv) => violations.push(format!(
+                    "{ctx}: scan returned value {sv} for key {k}, expected {v}"
+                )),
+                None => violations.push(format!(
+                    "{ctx}: scan skipped committed key {k} inside its covered span \
+                     [{lo}, {hi}]"
+                )),
+            }
+        }
+        for &(k, _) in pairs {
+            if is_mine(k) && !model.contains_key(&k) {
+                violations.push(format!(
+                    "{ctx}: scan returned key {k}, which is not present in the \
+                     sequential model at this point"
+                ));
+            }
+        }
+    }
+}
+
+/// Exact oracle for workloads where every key is touched by **at most one
+/// thread**. `initial` is the bulk-loaded content of the index before the
+/// workload ran.
+///
+/// Checks, in order:
+/// 1. the disjointness precondition itself (a violation here means the
+///    workload generator is broken, not the index);
+/// 2. every recorded outcome against a sequential replay;
+/// 3. the final index contents (point gets and a full range scan) against
+///    the replayed model.
+pub fn check_disjoint(
+    index: &dyn ConcurrentIndex,
+    initial: &[(Key, Value)],
+    histories: &[History],
+) -> Result<(), OracleReport> {
+    let mut violations = Vec::new();
+
+    // 1. Disjointness precondition. Scans are exempt: they observe many
+    // keys but mutate none, so they cannot break ownership.
+    let mut owner: BTreeMap<Key, usize> = BTreeMap::new();
+    for (t, h) in histories.iter().enumerate() {
+        for e in &h.events {
+            let Some(k) = e.op.key() else { continue };
+            match owner.get(&k) {
+                Some(&o) if o != t => {
+                    violations.push(format!(
+                        "precondition: key {k} touched by thread {o} and thread {t} \
+                         (use check_lww for overlapping workloads)"
+                    ));
+                }
+                _ => {
+                    owner.insert(k, t);
+                }
+            }
+        }
+    }
+    if !violations.is_empty() {
+        return Err(OracleReport { violations });
+    }
+
+    // Every value legitimately committed to each key (for validating the
+    // foreign keys concurrent scans observe).
+    let mut written: BTreeMap<Key, BTreeSet<Value>> = BTreeMap::new();
+    for &(k, v) in initial {
+        written.entry(k).or_default().insert(v);
+    }
+    for h in histories {
+        for e in &h.events {
+            if let (
+                Op::Insert(k, v) | Op::Update(k, v) | Op::Upsert(k, v),
+                Outcome::Mutated(Ok(())),
+            ) = (e.op, &e.outcome)
+            {
+                written.entry(k).or_default().insert(v);
+            }
+        }
+    }
+
+    // 2. Sequential replay per thread. Keys are disjoint, so one shared
+    // model replayed thread-by-thread is equivalent to per-thread models.
+    // Scans cross thread boundaries: their own-key/untouched-key subset is
+    // checked exactly against the model, foreign pairs for value
+    // integrity only.
+    let mut model: BTreeMap<Key, Value> = initial.iter().copied().collect();
+    for (t, h) in histories.iter().enumerate() {
+        for (i, e) in h.events.iter().enumerate() {
+            if let (Op::Scan(lo, n), Outcome::Scanned(pairs)) = (e.op, &e.outcome) {
+                // "Mine" = keys whose model state is trustworthy at this
+                // replay point: this thread's keys (program order) and
+                // initial keys no thread ever touched (immutable).
+                let is_mine = |k: Key| owner.get(&k).map_or(written.contains_key(&k), |&o| o == t);
+                check_scan_event(
+                    &format!("thread {t} event {i}"),
+                    lo,
+                    n,
+                    pairs,
+                    Some((&model, &is_mine)),
+                    &written,
+                    &mut violations,
+                );
+                continue;
+            }
+            let expect = model_apply(&mut model, e.op);
+            if e.outcome != expect {
+                violations.push(format!(
+                    "thread {t} event {i}: {:?} observed {:?}, sequential model expects {:?}",
+                    e.op, e.outcome, expect
+                ));
+            }
+        }
+    }
+
+    // 3. Final state: every key the model knows about, every key any
+    // thread touched, and a full scan for phantoms.
+    let mut keys_of_interest: BTreeSet<Key> = model.keys().copied().collect();
+    keys_of_interest.extend(owner.keys().copied());
+    for &k in &keys_of_interest {
+        let got = index.get(k);
+        let want = model.get(&k).copied();
+        if got != want {
+            violations.push(format!(
+                "final state: get({k}) = {got:?}, model expects {want:?}"
+            ));
+        }
+    }
+    check_final_scan(index, &model, &mut violations);
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(OracleReport { violations })
+    }
+}
+
+/// Per-key facts accumulated from overlapping histories.
+#[derive(Default)]
+struct KeyFacts {
+    /// Values ever successfully written to this key (plus the initial
+    /// value if bulk-loaded).
+    written: BTreeSet<Value>,
+    /// Successful inserts across all threads.
+    ok_inserts: u64,
+    /// Successful removes across all threads.
+    ok_removes: u64,
+    /// Successful upserts across all threads.
+    ok_upserts: u64,
+    /// Present in the initial bulk load.
+    initially_present: bool,
+}
+
+/// Last-writer-wins oracle for workloads where threads share keys.
+///
+/// The exact interleaving is unknown, so this checks necessary conditions
+/// every linearizable history satisfies:
+///
+/// * value integrity — every value observed by a `get`, a successful
+///   `remove`, or the final state was actually written to that key;
+/// * presence logic — a key observed present must have been initially
+///   loaded or successfully inserted/upserted at some point;
+/// * alternation — successful `insert`s flip a key absent→present and
+///   successful `remove`s present→absent, so with `p0` initial presence,
+///   `p0 + inserts - removes` must land in `{0, 1}` and (absent upserts,
+///   which can also create the key) predicts final presence exactly;
+/// * final-scan sanity — the quiesced range scan is sorted, duplicate
+///   free, and agrees with point lookups.
+pub fn check_lww(
+    index: &dyn ConcurrentIndex,
+    initial: &[(Key, Value)],
+    histories: &[History],
+) -> Result<(), OracleReport> {
+    let mut violations = Vec::new();
+    let mut facts: BTreeMap<Key, KeyFacts> = BTreeMap::new();
+    for &(k, v) in initial {
+        let f = facts.entry(k).or_default();
+        f.initially_present = true;
+        f.written.insert(v);
+    }
+    for h in histories {
+        for e in &h.events {
+            let Some(key) = e.op.key() else { continue };
+            let f = facts.entry(key).or_default();
+            match (e.op, &e.outcome) {
+                (Op::Insert(_, v), Outcome::Mutated(Ok(()))) => {
+                    f.ok_inserts += 1;
+                    f.written.insert(v);
+                }
+                (Op::Update(_, v), Outcome::Mutated(Ok(()))) => {
+                    f.written.insert(v);
+                }
+                (Op::Upsert(_, v), Outcome::Mutated(Ok(()))) => {
+                    f.ok_upserts += 1;
+                    f.written.insert(v);
+                }
+                (Op::Remove(_), Outcome::Removed(Some(_))) => {
+                    f.ok_removes += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Observation checks need the full written-set, hence the second pass.
+    // Every scanned pair is an observation too — concurrent scans are
+    // where optimistic read protocols tear, so each one is held to value
+    // integrity and ordering.
+    let written: BTreeMap<Key, BTreeSet<Value>> = facts
+        .iter()
+        .filter(|(_, f)| !f.written.is_empty())
+        .map(|(&k, f)| (k, f.written.clone()))
+        .collect();
+    for (t, h) in histories.iter().enumerate() {
+        for (i, e) in h.events.iter().enumerate() {
+            if let (Op::Scan(lo, n), Outcome::Scanned(pairs)) = (e.op, &e.outcome) {
+                check_scan_event(
+                    &format!("thread {t} event {i}"),
+                    lo,
+                    n,
+                    pairs,
+                    None,
+                    &written,
+                    &mut violations,
+                );
+                continue;
+            }
+            let Some(k) = e.op.key() else { continue };
+            let f = &facts[&k];
+            let observed = match e.outcome {
+                Outcome::Read(Some(v)) | Outcome::Removed(Some(v)) => Some(v),
+                _ => None,
+            };
+            if let Some(v) = observed {
+                if !f.written.contains(&v) {
+                    violations.push(format!(
+                        "thread {t} event {i}: {:?} observed value {v} never written to key {k}",
+                        e.op
+                    ));
+                }
+                if !f.initially_present && f.ok_inserts == 0 && f.ok_upserts == 0 {
+                    violations.push(format!(
+                        "thread {t} event {i}: {:?} saw key {k} present, but it was never \
+                         created",
+                        e.op
+                    ));
+                }
+            }
+        }
+    }
+
+    // Alternation + final state per key.
+    for (&k, f) in &facts {
+        let p0 = u64::from(f.initially_present);
+        let got = index.get(k);
+        if let Some(v) = got {
+            if !f.written.contains(&v) {
+                violations.push(format!(
+                    "final state: get({k}) = {v}, which was never written to that key"
+                ));
+            }
+        }
+        if f.ok_upserts == 0 {
+            let balance = (p0 + f.ok_inserts) as i64 - f.ok_removes as i64;
+            if !(0..=1).contains(&balance) {
+                violations.push(format!(
+                    "key {k}: {} successful inserts / {} removes with initial presence {p0} \
+                     admit no linearization (balance {balance})",
+                    f.ok_inserts, f.ok_removes
+                ));
+            } else {
+                let want_present = balance == 1;
+                if got.is_some() != want_present {
+                    violations.push(format!(
+                        "final state: key {k} present={}, but insert/remove accounting \
+                         requires present={want_present}",
+                        got.is_some()
+                    ));
+                }
+            }
+        } else if got.is_none()
+            && f.ok_removes == 0
+            && (f.initially_present || f.ok_inserts > 0 || f.ok_upserts > 0)
+        {
+            violations.push(format!(
+                "final state: key {k} absent although it was created and never removed"
+            ));
+        }
+    }
+
+    // Final-scan sanity against point lookups.
+    let final_model: BTreeMap<Key, Value> = facts
+        .keys()
+        .filter_map(|&k| index.get(k).map(|v| (k, v)))
+        .collect();
+    check_final_scan(index, &final_model, &mut violations);
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(OracleReport { violations })
+    }
+}
+
+/// Validate the quiesced full-range scan: sorted, duplicate-free, and in
+/// exact agreement with `model` over the model's key span.
+fn check_final_scan(
+    index: &dyn ConcurrentIndex,
+    model: &BTreeMap<Key, Value>,
+    violations: &mut Vec<String>,
+) {
+    let (lo, hi) = match (model.keys().next(), model.keys().next_back()) {
+        (Some(&lo), Some(&hi)) => (lo, hi),
+        _ => return,
+    };
+    let mut scanned = Vec::new();
+    index.range(lo, hi, &mut scanned);
+    for w in scanned.windows(2) {
+        if w[0].0 >= w[1].0 {
+            violations.push(format!(
+                "final scan: out of order or duplicate keys {} then {}",
+                w[0].0, w[1].0
+            ));
+        }
+    }
+    let model_pairs: Vec<(Key, Value)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    if scanned != model_pairs {
+        let scanned_keys: BTreeSet<Key> = scanned.iter().map(|&(k, _)| k).collect();
+        let model_keys: BTreeSet<Key> = model.keys().copied().collect();
+        for &k in model_keys.difference(&scanned_keys) {
+            violations.push(format!("final scan: committed key {k} missing from scan"));
+        }
+        for &k in scanned_keys.difference(&model_keys) {
+            violations.push(format!(
+                "final scan: phantom key {k} not in point-get state"
+            ));
+        }
+        if scanned_keys == model_keys {
+            for (s, m) in scanned.iter().zip(model_pairs.iter()) {
+                if s != m {
+                    violations.push(format!(
+                        "final scan: key {} scanned value {} but point get returns {}",
+                        s.0, s.1, m.1
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct RefIndex(Mutex<BTreeMap<Key, Value>>);
+
+    impl RefIndex {
+        fn new(initial: &[(Key, Value)]) -> Self {
+            Self(Mutex::new(initial.iter().copied().collect()))
+        }
+    }
+
+    impl ConcurrentIndex for RefIndex {
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn insert(&self, key: Key, value: Value) -> index_api::Result<()> {
+            match model_apply(&mut self.0.lock().unwrap(), Op::Insert(key, value)) {
+                Outcome::Mutated(r) => r,
+                _ => unreachable!(),
+            }
+        }
+        fn update(&self, key: Key, value: Value) -> index_api::Result<()> {
+            match model_apply(&mut self.0.lock().unwrap(), Op::Update(key, value)) {
+                Outcome::Mutated(r) => r,
+                _ => unreachable!(),
+            }
+        }
+        fn remove(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().remove(&key)
+        }
+        fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {
+            let m = self.0.lock().unwrap();
+            let before = out.len();
+            out.extend(m.range(lo..=hi).map(|(&k, &v)| (k, v)));
+            out.len() - before
+        }
+        fn memory_usage(&self) -> usize {
+            0
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+        fn name(&self) -> &'static str {
+            "ref"
+        }
+    }
+
+    #[test]
+    fn disjoint_accepts_correct_sequential_run() {
+        let idx = RefIndex::new(&[(10, 1)]);
+        let mut rec = Recorder::new(&idx);
+        assert_eq!(rec.get(10), Some(1));
+        rec.insert(11, 2).unwrap();
+        rec.update(11, 3).unwrap();
+        assert_eq!(rec.remove(10), Some(1));
+        let h = rec.into_history();
+        check_disjoint(&idx, &[(10, 1)], &[h]).unwrap();
+    }
+
+    #[test]
+    fn disjoint_flags_wrong_outcome() {
+        let idx = RefIndex::new(&[]);
+        let mut rec = Recorder::new(&idx);
+        rec.insert(5, 50).unwrap();
+        let mut h = rec.into_history();
+        // Forge a lost-read: pretend the thread observed None after its
+        // own insert.
+        h.events.push(Event {
+            op: Op::Get(5),
+            outcome: Outcome::Read(None),
+        });
+        let err = check_disjoint(&idx, &[], &[h]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| v.contains("event 1")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn disjoint_flags_overlapping_threads() {
+        let idx = RefIndex::new(&[]);
+        let h = |op, outcome| History {
+            events: vec![Event { op, outcome }],
+        };
+        let a = h(Op::Get(7), Outcome::Read(None));
+        let b = h(Op::Get(7), Outcome::Read(None));
+        let err = check_disjoint(&idx, &[], &[a, b]).unwrap_err();
+        assert!(err.violations[0].contains("precondition"), "{err}");
+    }
+
+    #[test]
+    fn disjoint_flags_final_state_divergence() {
+        let idx = RefIndex::new(&[]);
+        let mut rec = Recorder::new(&idx);
+        rec.insert(9, 90).unwrap();
+        let h = rec.into_history();
+        // Sabotage the index after the fact: the final state no longer
+        // matches the replay.
+        idx.0.lock().unwrap().remove(&9);
+        let err = check_disjoint(&idx, &[], &[h]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| v.contains("final state")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lww_accepts_overlapping_run() {
+        let idx = RefIndex::new(&[(1, 10)]);
+        let mut a = Recorder::new(&idx);
+        let mut b = Recorder::new(&idx);
+        a.upsert(1, 11).unwrap();
+        b.upsert(1, 12).unwrap();
+        a.get(1);
+        let _ = b.insert(2, 20);
+        let _ = a.insert(2, 21);
+        let (ha, hb) = (a.into_history(), b.into_history());
+        check_lww(&idx, &[(1, 10)], &[ha, hb]).unwrap();
+    }
+
+    #[test]
+    fn lww_flags_value_from_nowhere() {
+        let idx = RefIndex::new(&[]);
+        let h = History {
+            events: vec![Event {
+                op: Op::Get(3),
+                outcome: Outcome::Read(Some(999)),
+            }],
+        };
+        let err = check_lww(&idx, &[], &[h]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| v.contains("never written")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lww_flags_impossible_insert_remove_balance() {
+        let idx = RefIndex::new(&[]);
+        let h = History {
+            events: vec![
+                Event {
+                    op: Op::Remove(4),
+                    outcome: Outcome::Removed(Some(40)),
+                },
+                Event {
+                    op: Op::Remove(4),
+                    outcome: Outcome::Removed(Some(40)),
+                },
+            ],
+        };
+        let err = check_lww(&idx, &[(4, 40)], &[h]).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| v.contains("no linearization")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lww_flags_lost_key() {
+        let idx = RefIndex::new(&[]);
+        let mut rec = Recorder::new(&idx);
+        rec.insert(6, 60).unwrap();
+        let h = rec.into_history();
+        idx.0.lock().unwrap().remove(&6); // simulate a lost insert
+        let err = check_lww(&idx, &[], &[h]).unwrap_err();
+        assert!(!err.violations.is_empty(), "{err}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Hermetic shim for `criterion`: a small wall-clock benchmark harness
+//! exposing the API surface this workspace's benches use. Each benchmark
+//! runs a short warm-up, then `sample_size` timed samples, and prints the
+//! per-sample mean plus element throughput when configured.
+//!
+//! No statistics beyond mean/min — this shim exists so `cargo bench`
+//! builds and runs hermetically; for publication-grade numbers swap the
+//! workspace dependency back to upstream criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// The timing driver passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration durations for the enclosing run.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called once per sample after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            total += t0.elapsed();
+        }
+        self.last_mean = total / self.samples as u32;
+    }
+
+    /// Time `routine(setup())`, excluding the setup cost.
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: F,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.last_mean = total / self.samples as u32;
+    }
+}
+
+fn report(group: &str, label: &str, mean: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("bench {group}/{label}: {mean:?}/iter");
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line += &format!(" ({:.3} Melem/s)", n as f64 / secs / 1e6);
+                }
+                Throughput::Bytes(n) => {
+                    line += &format!(" ({:.3} MiB/s)", n as f64 / secs / (1 << 20) as f64);
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, tp: Throughput) {
+        self.throughput = Some(tp);
+    }
+
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = Some(n.max(1));
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self
+                .sample_size
+                .unwrap_or(self.criterion.sample_size)
+                .max(1),
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&self.name, label, b.last_mean, self.throughput);
+    }
+
+    /// Run a benchmark identified by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        self.run(&id.label, f);
+    }
+
+    /// Run a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.label, |b| f(b, input));
+    }
+
+    /// Finish the group (printing happens per-bench; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report("bench", name, b.last_mean, None);
+    }
+}
+
+/// Define a group of benchmark functions with an optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_machinery_runs() {
+        benches();
+    }
+
+    #[test]
+    fn iter_with_setup_times_routine_only() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u64; 10], |v| v.iter().sum::<u64>())
+        });
+    }
+}

@@ -1,0 +1,96 @@
+//! Chaos-schedule sweep: every index runs seeded concurrent workloads
+//! under the testkit oracle, across ≥32 distinct perturbation seeds per
+//! index (alternating disjoint-key exact checking and shared-key
+//! last-writer-wins checking).
+//!
+//! Without `--features chaos` the same workloads run unperturbed (the
+//! chaos points are compiled out), so this file also serves as a plain
+//! oracle-checked concurrency suite. With the feature on, each seed
+//! re-applies a deterministic delay pattern inside the optimistic
+//! protocol windows (see `TESTING.md`).
+//!
+//! `CHAOS_SEED_BASE` (env, decimal) offsets the seed range — CI uses it
+//! to run a fixed seed matrix.
+
+use alt_index::AltIndex;
+use art::Art;
+use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
+use index_api::BulkLoad;
+use testkit::harness::Scenario;
+
+/// Seeds per index; the ISSUE acceptance bar is ≥32.
+const SEEDS: u64 = 32;
+
+fn seed_base() -> u64 {
+    match std::env::var("CHAOS_SEED_BASE") {
+        Err(_) => 0,
+        // A typo'd value must not silently re-test the base-0 window.
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("CHAOS_SEED_BASE must be a decimal u64, got {s:?}")),
+    }
+}
+
+/// Run `SEEDS` scenarios against freshly-built `I` indexes, alternating
+/// partition modes, and panic with the oracle report on any violation.
+fn sweep<I: BulkLoad + index_api::ConcurrentIndex>(label: &str) {
+    let base = seed_base();
+    for s in 0..SEEDS {
+        let seed = base + s;
+        let scenario = if s % 2 == 0 {
+            Scenario::disjoint(seed)
+        } else {
+            Scenario::shared(seed)
+        };
+        let idx = I::bulk_load(&scenario.initial_pairs());
+        if let Err(report) = scenario.run(&idx) {
+            panic!("{label} seed {seed} ({:?}): {report}", scenario.partition);
+        }
+    }
+}
+
+#[test]
+fn chaos_alt_index() {
+    sweep::<AltIndex>("alt-index");
+}
+
+#[test]
+fn chaos_art() {
+    sweep::<Art>("art");
+}
+
+#[test]
+fn chaos_alex() {
+    sweep::<AlexLike>("alex+");
+}
+
+#[test]
+fn chaos_lipp() {
+    sweep::<LippLike>("lipp+");
+}
+
+#[test]
+fn chaos_xindex() {
+    sweep::<XIndexLike>("xindex");
+}
+
+#[test]
+fn chaos_finedex() {
+    sweep::<FinedexLike>("finedex");
+}
+
+/// With the `chaos` feature on, the instrumented hot paths must actually
+/// be reached — otherwise the sweep above is vacuous.
+#[test]
+#[cfg(feature = "chaos")]
+fn chaos_points_are_exercised() {
+    let scenario = Scenario::shared(0xFEED_FACE);
+    let idx = AltIndex::bulk_load(&scenario.initial_pairs());
+    let before = testkit::chaos::hits();
+    scenario.run(&idx).unwrap();
+    let delta = testkit::chaos::hits() - before;
+    assert!(
+        delta > 1_000,
+        "expected thousands of chaos-point hits, got {delta}"
+    );
+}

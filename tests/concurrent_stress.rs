@@ -1,7 +1,11 @@
 //! Cross-crate concurrency stress: hammer every index with mixed
 //! operations from multiple threads, then validate full consistency at
-//! quiesce. The disjoint-key partitioning makes the expected final state
-//! exact.
+//! quiesce through the testkit oracle. Each thread's operations on its
+//! disjoint key slice are history-recorded and replayed exactly against
+//! a sequential model (`testkit::oracle::check_disjoint`), which also
+//! cross-checks the final index contents and range-scan agreement;
+//! shared bulk keys are probed inline (they are immutable during the
+//! storm, so direct assertions stay exact).
 
 use alt_index::AltIndex;
 use art::Art;
@@ -9,14 +13,15 @@ use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
 use datasets::{generate_pairs, Dataset};
 use index_api::{BulkLoad, ConcurrentIndex};
 use std::sync::Arc;
+use testkit::oracle::{check_disjoint, History, Recorder};
 
 const THREADS: usize = 8;
 const PER_THREAD: usize = 3_000;
 
 /// Each thread owns a disjoint slice of fresh keys: inserts all of them,
 /// removes the odd-indexed ones, updates the rest, while reading bulk
-/// keys throughout. Afterwards every bulk key must be intact, every even
-/// slice key must hold its updated value, every odd one must be gone.
+/// keys throughout. Every recorded operation and the quiesced final
+/// state are validated by the exact disjoint-key oracle.
 fn stress<I: ConcurrentIndex + 'static>(idx: Arc<I>, bulk: Arc<Vec<(u64, u64)>>, fresh: Vec<u64>) {
     let fresh = Arc::new(fresh);
     let mut handles = Vec::new();
@@ -24,42 +29,34 @@ fn stress<I: ConcurrentIndex + 'static>(idx: Arc<I>, bulk: Arc<Vec<(u64, u64)>>,
         let idx = Arc::clone(&idx);
         let bulk = Arc::clone(&bulk);
         let fresh = Arc::clone(&fresh);
-        handles.push(std::thread::spawn(move || {
+        handles.push(std::thread::spawn(move || -> History {
+            let mut rec = Recorder::new(&*idx);
             let mine = &fresh[t * PER_THREAD..(t + 1) * PER_THREAD];
             for (i, &k) in mine.iter().enumerate() {
-                idx.insert(k, 1)
+                rec.insert(k, 1)
                     .unwrap_or_else(|e| panic!("insert {k}: {e}"));
-                // Interleave reads of bulk data.
+                // Interleave reads of bulk data. These keys are shared
+                // across threads (and immutable), so they are probed
+                // directly instead of entering the disjoint history.
                 let probe = bulk[(i * 2654435761) % bulk.len()];
                 assert_eq!(idx.get(probe.0), Some(probe.1), "bulk {probe:?}");
                 if i % 2 == 1 {
-                    assert_eq!(idx.remove(k), Some(1), "remove {k}");
+                    assert_eq!(rec.remove(k), Some(1), "remove {k}");
                 } else {
-                    idx.update(k, k)
+                    rec.update(k, k)
                         .unwrap_or_else(|e| panic!("update {k}: {e}"));
-                    assert_eq!(idx.get(k), Some(k), "own update {k}");
+                    assert_eq!(rec.get(k), Some(k), "own update {k}");
                 }
             }
+            rec.into_history()
         }));
     }
-    for h in handles {
-        h.join().unwrap();
-    }
-    // Quiesce validation.
-    for &(k, v) in bulk.iter() {
-        assert_eq!(idx.get(k), Some(v), "bulk key {k} after storm");
-    }
-    for t in 0..THREADS {
-        for (i, &k) in fresh[t * PER_THREAD..(t + 1) * PER_THREAD]
-            .iter()
-            .enumerate()
-        {
-            if i % 2 == 1 {
-                assert_eq!(idx.get(k), None, "removed key {k} resurrected");
-            } else {
-                assert_eq!(idx.get(k), Some(k), "updated key {k}");
-            }
-        }
+    let histories: Vec<History> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Quiesce validation: exact sequential replay of every thread's
+    // history, final point-get and range-scan agreement (bulk keys are
+    // part of `initial`, so their survival is checked here too).
+    if let Err(report) = check_disjoint(&*idx, &bulk, &histories) {
+        panic!("oracle rejected {}: {report}", idx.name());
     }
     let expected = bulk.len() + THREADS * PER_THREAD / 2;
     assert_eq!(idx.len(), expected, "final len");
