@@ -43,6 +43,10 @@ pub struct AltIndex {
     pub(crate) dir_lock: Mutex<()>,
     pub(crate) len: AtomicUsize,
     pub(crate) retrains: AtomicUsize,
+    /// Retrain attempts that got past the trigger checks (completed or
+    /// not) — the denominator for the paper's retrain-effectiveness
+    /// accounting; `retrains` is the numerator.
+    pub(crate) retrain_attempts: AtomicUsize,
     /// Bumped immediately before every directory swap. Scans snapshot it
     /// before reading ART and re-check it after walking the slots: an
     /// unchanged epoch proves no retrain published (and therefore no
@@ -73,6 +77,7 @@ impl AltIndex {
             dir_lock: Mutex::new(()),
             len: AtomicUsize::new(pairs.len()),
             retrains: AtomicUsize::new(0),
+            retrain_attempts: AtomicUsize::new(0),
             dir_epoch: AtomicUsize::new(0),
         };
         idx.register_all_fast_pointers();
@@ -153,11 +158,17 @@ impl AltIndex {
                     // not reclaimed while we use it; the key lies in the
                     // model's interval so the jump covers it.
                     match unsafe { self.art.get_from(node, key) } {
-                        FromResult::Done(v, _) => return v,
+                        FromResult::Done(v, _) => {
+                            crate::metrics_hook::fastptr_jump_hit();
+                            return v;
+                        }
                         FromResult::Fallback => {}
                     }
                 }
             }
+            // No shortcut, a de-optimized (zeroed) entry, or an obsolete
+            // jump node: the Fig 10(b) de-optimization path.
+            crate::metrics_hook::fastptr_deopt();
         }
         self.art.get(key)
     }
@@ -172,11 +183,15 @@ impl AltIndex {
                 if node != 0 {
                     // SAFETY: as in `art_get`.
                     match unsafe { self.art.insert_from(node, key, value) } {
-                        FromResult::Done(ins, _) => return ins,
+                        FromResult::Done(ins, _) => {
+                            crate::metrics_hook::fastptr_jump_hit();
+                            return ins;
+                        }
                         FromResult::Fallback => {}
                     }
                 }
             }
+            crate::metrics_hook::fastptr_deopt();
         }
         self.art.insert(key, value)
     }
@@ -234,6 +249,7 @@ impl AltIndex {
     /// Opportunistic write-back (Algorithm 2 lines 10-13): move an ART
     /// entry into the tombstoned slot it predicts to.
     fn try_write_back(&self, m: &GplModel, pred: usize, key: u64, value: u64) {
+        crate::metrics_hook::write_back_attempt();
         // Never fight a retrain for this optimization.
         let Some(_rl) = m.op_lock.try_read() else {
             return;
@@ -242,6 +258,7 @@ impl AltIndex {
             return;
         }
         if m.slots.claim(pred, key, value) == ClaimResult::Written {
+            crate::metrics_hook::write_back_moved();
             match self.art.remove(key) {
                 Some(fresh) => {
                     if fresh != value {
@@ -421,11 +438,28 @@ impl AltIndex {
             let (state, ver) = m.slots.read(pred);
             match state {
                 SlotState::Occupied { key: k, .. } if k == key => {
-                    match m.slots.remove_if_key(pred, key) {
-                        Some(v) => {
-                            // Clear any transient ART copy (retrain
-                            // double-presence window / insert races).
+                    // Tombstone the slot AND clear the transient ART copy
+                    // (retrain double-presence / write-back undo window)
+                    // in one critical section on the predicted slot — the
+                    // per-key serialization point (see `insert`). With the
+                    // ART clear outside the lock, a racing insert of `key`
+                    // could land in ART after another key reclaimed the
+                    // tombstone, and the late clear would silently delete
+                    // that *successful* insert (lost key, caught by the
+                    // chaos oracle). Under the lock no new ART copy of
+                    // `key` can appear: every inserter of `key` must take
+                    // this same slot lock first.
+                    let removed = m.slots.with_write(pred, |g| match g.state() {
+                        SlotState::Occupied { key: k, value } if k == key => {
+                            crate::chaos_hook::point("slots.remove.pre_tombstone");
+                            g.clear();
                             self.art.remove(key);
+                            Some(value)
+                        }
+                        _ => None,
+                    });
+                    match removed {
+                        Some(v) => {
                             self.len.fetch_sub(1, Ordering::Relaxed);
                             return Some(v);
                         }

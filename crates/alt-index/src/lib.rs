@@ -47,6 +47,7 @@ pub mod config;
 pub mod dir;
 pub mod fast_ptr;
 pub mod index;
+pub(crate) mod metrics_hook;
 pub mod model;
 pub mod retrain;
 pub mod scan;

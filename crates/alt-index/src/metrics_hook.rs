@@ -1,0 +1,136 @@
+//! Forwarders to the `obs` metrics sink, compiled away entirely unless
+//! the `metrics` feature is enabled — the same pattern as
+//! [`crate::chaos_hook`] for the chaos testkit.
+//!
+//! Sites instrumented in this crate: slot-version read/lock retries
+//! (`slots.rs`), fast-pointer jump hits vs de-optimized root fallbacks
+//! and registration retries (`index.rs`, `fast_ptr.rs`), scan directory-
+//! epoch retries (`scan.rs`), write-back attempts, and the retrain
+//! phases (`retrain.rs`).
+
+#[cfg(feature = "metrics")]
+mod real {
+    use obs::{Counter, Phase};
+
+    #[inline]
+    pub(crate) fn slot_read_retry() {
+        obs::incr(Counter::SlotReadRetry);
+    }
+    #[inline]
+    pub(crate) fn slot_lock_retry() {
+        obs::incr(Counter::SlotLockRetry);
+    }
+    #[inline]
+    pub(crate) fn fastptr_jump_hit() {
+        obs::incr(Counter::FastPtrJumpHit);
+    }
+    #[inline]
+    pub(crate) fn fastptr_deopt() {
+        obs::incr(Counter::FastPtrDeopt);
+    }
+    #[inline]
+    pub(crate) fn fastptr_register_retry() {
+        obs::incr(Counter::FastPtrRegisterRetry);
+    }
+    #[inline]
+    pub(crate) fn scan_epoch_retry() {
+        obs::incr(Counter::ScanEpochRetry);
+    }
+    #[inline]
+    pub(crate) fn write_back_attempt() {
+        obs::incr(Counter::WriteBackAttempt);
+    }
+    #[inline]
+    pub(crate) fn write_back_moved() {
+        obs::incr(Counter::WriteBackMoved);
+    }
+    #[inline]
+    pub(crate) fn retrain_attempt() {
+        obs::incr(Counter::RetrainAttempt);
+    }
+    #[inline]
+    pub(crate) fn retrain_completed() {
+        obs::incr(Counter::RetrainCompleted);
+    }
+    #[inline]
+    pub(crate) fn retrain_empty_span() {
+        obs::incr(Counter::RetrainEmptySpan);
+    }
+    #[inline]
+    pub(crate) fn retrain_skipped_busy() {
+        obs::incr(Counter::RetrainSkippedBusy);
+    }
+
+    /// Monotonic timestamp for phase timing; pair with the `retrain_*_done`
+    /// recorders below.
+    #[inline]
+    pub(crate) fn now_ns() -> u64 {
+        obs::clock::now_ns()
+    }
+    #[inline]
+    pub(crate) fn retrain_collect_done(t0: u64) {
+        obs::record_phase_ns(
+            Phase::RetrainCollect,
+            obs::clock::now_ns().saturating_sub(t0),
+        );
+    }
+    #[inline]
+    pub(crate) fn retrain_build_done(t0: u64) {
+        obs::record_phase_ns(Phase::RetrainBuild, obs::clock::now_ns().saturating_sub(t0));
+    }
+    #[inline]
+    pub(crate) fn retrain_swap_done(t0: u64) {
+        obs::record_phase_ns(Phase::RetrainSwap, obs::clock::now_ns().saturating_sub(t0));
+    }
+    #[inline]
+    pub(crate) fn retrain_cleanup_done(t0: u64) {
+        obs::record_phase_ns(
+            Phase::RetrainCleanup,
+            obs::clock::now_ns().saturating_sub(t0),
+        );
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod real {
+    // Disabled build: every hook is an empty inlined function (and the
+    // timestamp is a constant), so call sites fold away to nothing.
+    #[inline(always)]
+    pub(crate) fn slot_read_retry() {}
+    #[inline(always)]
+    pub(crate) fn slot_lock_retry() {}
+    #[inline(always)]
+    pub(crate) fn fastptr_jump_hit() {}
+    #[inline(always)]
+    pub(crate) fn fastptr_deopt() {}
+    #[inline(always)]
+    pub(crate) fn fastptr_register_retry() {}
+    #[inline(always)]
+    pub(crate) fn scan_epoch_retry() {}
+    #[inline(always)]
+    pub(crate) fn write_back_attempt() {}
+    #[inline(always)]
+    pub(crate) fn write_back_moved() {}
+    #[inline(always)]
+    pub(crate) fn retrain_attempt() {}
+    #[inline(always)]
+    pub(crate) fn retrain_completed() {}
+    #[inline(always)]
+    pub(crate) fn retrain_empty_span() {}
+    #[inline(always)]
+    pub(crate) fn retrain_skipped_busy() {}
+    #[inline(always)]
+    pub(crate) fn now_ns() -> u64 {
+        0
+    }
+    #[inline(always)]
+    pub(crate) fn retrain_collect_done(_t0: u64) {}
+    #[inline(always)]
+    pub(crate) fn retrain_build_done(_t0: u64) {}
+    #[inline(always)]
+    pub(crate) fn retrain_swap_done(_t0: u64) {}
+    #[inline(always)]
+    pub(crate) fn retrain_cleanup_done(_t0: u64) {}
+}
+
+pub(crate) use real::*;

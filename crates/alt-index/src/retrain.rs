@@ -21,6 +21,14 @@ impl AltIndex {
         self.retrains.load(Ordering::Relaxed)
     }
 
+    /// Number of retrain attempts that got past the trigger checks,
+    /// whether or not they published a new directory. An attempt count
+    /// racing far ahead of [`AltIndex::retrain_count`] means the trigger
+    /// accounting is broken (e.g. an overflow counter that never resets).
+    pub fn retrain_attempt_count(&self) -> usize {
+        self.retrain_attempts.load(Ordering::Relaxed)
+    }
+
     /// Attempt to retrain the model covering `key_hint`. Quietly returns
     /// if another structural change is in flight or the model no longer
     /// wants retraining.
@@ -31,6 +39,7 @@ impl AltIndex {
         // One structural change at a time; droppers just skip (the next
         // overflow insert will retry).
         let Some(_dl) = self.dir_lock.try_lock() else {
+            crate::metrics_hook::retrain_skipped_busy();
             return;
         };
         let guard = epoch::pin();
@@ -40,10 +49,13 @@ impl AltIndex {
         if m.is_retired() || !m.wants_retrain() {
             return;
         }
+        self.retrain_attempts.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::retrain_attempt();
 
         // Block writers to this model for the copy phase; readers stay
         // lock-free and are redirected by the `retired` flag afterwards.
         let _wl = m.op_lock.write();
+        let t_collect = crate::metrics_hook::now_ns();
 
         // Collect the span's data: live slots + the ART range.
         let mut slot_pairs: Vec<(u64, u64)> = Vec::with_capacity(m.build_size);
@@ -56,11 +68,20 @@ impl AltIndex {
         // Merge (both sides sorted); on the rare double-presence the slot
         // copy wins (write-back deletes the ART copy on sight anyway).
         let merged = merge_pairs(&slot_pairs, &art_pairs);
+        crate::metrics_hook::retrain_collect_done(t_collect);
         if merged.is_empty() {
             // Everything in the span was removed; nothing to refactor.
+            // The overflow inserts that tripped the trigger are gone with
+            // the rest of the span, so reset the accounting — leaving it
+            // high would keep `wants_retrain()` true and send every later
+            // overflow insert straight back here for another futile
+            // collect-and-bail pass.
+            m.art_inserts.store(0, Ordering::Relaxed);
+            crate::metrics_hook::retrain_empty_span();
             return;
         }
 
+        let t_build = crate::metrics_hook::now_ns();
         let expansions = m.expansions.saturating_add(1);
         let (models, conflicts) = segment_and_build(
             &merged,
@@ -98,6 +119,9 @@ impl AltIndex {
             }
         }
 
+        crate::metrics_hook::retrain_build_done(t_build);
+        let t_swap = crate::metrics_hook::now_ns();
+
         // Publish the new directory and retire the old snapshot. The
         // epoch bump must precede the swap: scans that saw the old epoch
         // and miss this swap will re-read it, notice the change, and
@@ -116,6 +140,8 @@ impl AltIndex {
         // flag — readers caught here must still find every key.
         crate::chaos_hook::point("retrain.post_swap");
         m.retired.store(true, Ordering::Release);
+        crate::metrics_hook::retrain_swap_done(t_swap);
+        let t_cleanup = crate::metrics_hook::now_ns();
 
         // Remove the ART keys the new slots absorbed (everything in the
         // span except the still-conflicting ones). Readers racing these
@@ -133,7 +159,9 @@ impl AltIndex {
                 }
             }
         }
+        crate::metrics_hook::retrain_cleanup_done(t_cleanup);
         self.retrains.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::retrain_completed();
     }
 }
 
@@ -233,6 +261,60 @@ mod tests {
             s.keys_in_learned,
             s.keys_in_art
         );
+    }
+
+    #[test]
+    fn empty_span_retrain_resets_overflow_accounting() {
+        // Regression: `maybe_retrain` on a fully-emptied span used to
+        // bail out leaving `art_inserts` above the trigger threshold, so
+        // `wants_retrain()` stayed true and every later overflow insert
+        // paid another futile collect-and-bail pass.
+        let pairs: Vec<(u64, u64)> = (1..=2_000u64).map(|i| (i * 1_000, i)).collect();
+        let idx = AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(64.0),
+                ..Default::default()
+            },
+        );
+        // Empty every span: all live slots and ART residents go away.
+        for &(k, _) in &pairs {
+            assert!(idx.remove(k).is_some());
+        }
+        assert_eq!(idx.len(), 0);
+
+        // Push one model over the retrain trigger by hand and invoke the
+        // retrain path directly — it must take the empty-span early exit.
+        let target = 500_000u64;
+        let guard = epoch::pin();
+        let m = idx.dir_ref(&guard).model_for(target);
+        m.art_inserts
+            .store(m.build_size.max(16) + 100, Ordering::Relaxed);
+        assert!(m.wants_retrain());
+        idx.maybe_retrain(target);
+        assert_eq!(idx.retrain_attempt_count(), 1, "one collect-and-bail pass");
+        assert_eq!(idx.retrain_count(), 0, "nothing to publish");
+        assert!(
+            !m.wants_retrain(),
+            "empty-span exit must reset the overflow accounting"
+        );
+
+        // A handful of dense keys below the trigger threshold: the later
+        // ones collide into occupied slots and overflow to ART, which
+        // re-checks `wants_retrain` on every such insert. With the stale
+        // counter they would all come straight back here (attempt count
+        // climbs); with the reset they must not.
+        for k in 500_001..=500_010u64 {
+            idx.insert(k, k).unwrap();
+        }
+        assert_eq!(
+            idx.retrain_attempt_count(),
+            1,
+            "sub-threshold overflow inserts must not re-enter retrain"
+        );
+        for k in 500_001..=500_010u64 {
+            assert_eq!(idx.get(k), Some(k));
+        }
     }
 
     #[test]

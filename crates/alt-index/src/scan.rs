@@ -64,6 +64,7 @@ impl AltIndex {
             if self.dir_epoch.load(Ordering::Acquire) == epoch_pre {
                 break;
             }
+            crate::metrics_hook::scan_epoch_retry();
         }
 
         // Merge (both ascending); on the transient double-presence the
@@ -134,6 +135,7 @@ impl AltIndex {
             if self.dir_epoch.load(Ordering::Acquire) == epoch_pre {
                 break;
             }
+            crate::metrics_hook::scan_epoch_retry();
         }
 
         // Merge-truncate.

@@ -127,6 +127,7 @@ impl SlotArray {
         loop {
             let v1 = self.slots[i].version.load(Ordering::Acquire);
             if v1 & 1 == 1 {
+                crate::metrics_hook::slot_read_retry();
                 backoff(&mut spins);
                 continue;
             }
@@ -136,6 +137,7 @@ impl SlotArray {
                 if self.slots[i].version.load(Ordering::Acquire) == v1 {
                     return (SlotState::Empty, v1);
                 }
+                crate::metrics_hook::slot_read_retry();
                 continue;
             }
             let key = self.slots[i].key.load(Ordering::Acquire);
@@ -148,6 +150,7 @@ impl SlotArray {
             if !crate::chaos_hook::mutate_skip_slot_revalidation()
                 && self.slots[i].version.load(Ordering::Acquire) != v1
             {
+                crate::metrics_hook::slot_read_retry();
                 continue;
             }
             let state = if key == 0 {
@@ -176,6 +179,7 @@ impl SlotArray {
                 crate::chaos_hook::point("slots.lock.held");
                 return v;
             }
+            crate::metrics_hook::slot_lock_retry();
             backoff(&mut spins);
         }
     }

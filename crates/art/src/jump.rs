@@ -45,10 +45,12 @@ impl Art {
     pub unsafe fn get_from(&self, start: NodePtr, key: u64) -> FromResult<Option<u64>> {
         let _guard = epoch::pin();
         if start == 0 || node::is_leaf(start) {
+            crate::metrics_hook::jump_fallback();
             return FromResult::Fallback;
         }
         let hdr = node::header(start);
         if hdr.version.is_obsolete() {
+            crate::metrics_hook::jump_fallback();
             return FromResult::Fallback;
         }
         // Widen the gap between the obsolete check and the descent — a
@@ -59,10 +61,14 @@ impl Art {
         // Retry locally on version conflicts; fall back if the node dies.
         loop {
             if hdr.version.is_obsolete() {
+                crate::metrics_hook::jump_fallback();
                 return FromResult::Fallback;
             }
             match descend_get(start, key, depth) {
-                Ok((v, d)) => return FromResult::Done(v, d),
+                Ok((v, d)) => {
+                    crate::metrics_hook::jump_resume();
+                    return FromResult::Done(v, d);
+                }
                 Err(()) => continue,
             }
         }
@@ -78,11 +84,13 @@ impl Art {
     pub unsafe fn insert_from(&self, start: NodePtr, key: u64, value: u64) -> FromResult<bool> {
         let guard = epoch::pin();
         if start == 0 || node::is_leaf(start) {
+            crate::metrics_hook::jump_fallback();
             return FromResult::Fallback;
         }
         let hdr = node::header(start);
         loop {
             if hdr.version.is_obsolete() {
+                crate::metrics_hook::jump_fallback();
                 return FromResult::Fallback;
             }
             // The descend-insert needs the parent when a structural change
@@ -91,7 +99,10 @@ impl Art {
             // next byte.
             let v = match hdr.version.read_lock_spin() {
                 Some(v) => v,
-                None => return FromResult::Fallback,
+                None => {
+                    crate::metrics_hook::jump_fallback();
+                    return FromResult::Fallback;
+                }
             };
             let depth = hdr.match_level();
             let (prefix, plen, _) = hdr.prefix();
@@ -103,14 +114,15 @@ impl Art {
                 }
             }
             if mismatch {
-                return if hdr.version.validate(v) {
-                    FromResult::Fallback
-                } else {
-                    continue;
-                };
+                if hdr.version.validate(v) {
+                    crate::metrics_hook::jump_fallback();
+                    return FromResult::Fallback;
+                }
+                continue;
             }
             let disc = depth + plen;
             if disc >= 8 {
+                crate::metrics_hook::jump_fallback();
                 return FromResult::Fallback;
             }
             let b = node::key_byte(key, disc);
@@ -121,10 +133,14 @@ impl Art {
             }
             if child == 0 && full {
                 // Expansion at the jump node needs its parent.
+                crate::metrics_hook::jump_fallback();
                 return FromResult::Fallback;
             }
             match self.descend_insert(start, key, value, false, &guard) {
-                Ok(inserted) => return FromResult::Done(inserted, 0),
+                Ok(inserted) => {
+                    crate::metrics_hook::jump_resume();
+                    return FromResult::Done(inserted, 0);
+                }
                 Err(()) => continue,
             }
         }

@@ -27,6 +27,7 @@
 mod api;
 pub(crate) mod chaos_hook;
 mod jump;
+pub(crate) mod metrics_hook;
 mod node;
 mod olc;
 mod scan;

@@ -1,0 +1,37 @@
+//! Forwarders to the `obs` metrics sink, compiled away entirely unless
+//! the `metrics` feature is enabled — the same pattern as
+//! [`crate::chaos_hook`] for the chaos testkit.
+//!
+//! Sites instrumented in this crate: OLC version-validation restarts
+//! (`olc.rs`) and jump-path entry outcomes (`jump.rs`).
+
+#[cfg(feature = "metrics")]
+mod real {
+    use obs::Counter;
+
+    #[inline]
+    pub(crate) fn olc_restart() {
+        obs::incr(Counter::OlcRestart);
+    }
+    #[inline]
+    pub(crate) fn jump_resume() {
+        obs::incr(Counter::ArtJumpResume);
+    }
+    #[inline]
+    pub(crate) fn jump_fallback() {
+        obs::incr(Counter::ArtJumpFallback);
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod real {
+    // Disabled build: empty inlined functions, call sites fold away.
+    #[inline(always)]
+    pub(crate) fn olc_restart() {}
+    #[inline(always)]
+    pub(crate) fn jump_resume() {}
+    #[inline(always)]
+    pub(crate) fn jump_fallback() {}
+}
+
+pub(crate) use real::*;

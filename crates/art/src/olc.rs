@@ -80,7 +80,11 @@ impl VersionLock {
         // snapshot stay exposed to concurrent writers a little longer, so
         // a buggy caller that skips re-reads gets caught.
         crate::chaos_hook::point("olc.validate");
-        self.word.load(Ordering::Acquire) == snapshot
+        let ok = self.word.load(Ordering::Acquire) == snapshot;
+        if !ok {
+            crate::metrics_hook::olc_restart();
+        }
+        ok
     }
 
     /// Try to upgrade a read snapshot to a write lock. Fails (returns

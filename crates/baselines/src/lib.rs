@@ -33,6 +33,7 @@ pub mod alex;
 pub(crate) mod chaos_hook;
 pub mod finedex;
 pub mod lipp;
+pub(crate) mod metrics_hook;
 pub mod rcu;
 pub mod seqlock;
 pub mod xindex;

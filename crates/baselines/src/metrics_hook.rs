@@ -1,0 +1,32 @@
+//! Forwarders to the `obs` metrics sink, compiled away entirely unless
+//! the `metrics` feature is enabled — the same pattern as
+//! [`crate::chaos_hook`] for the chaos testkit.
+//!
+//! Sites instrumented in this crate: seqlock read retries (`seqlock.rs`)
+//! and RCU snapshot publications (`rcu.rs`), the primitives every
+//! baseline index in this crate is built on.
+
+#[cfg(feature = "metrics")]
+mod real {
+    use obs::Counter;
+
+    #[inline]
+    pub(crate) fn seqlock_read_retry() {
+        obs::incr(Counter::SeqlockReadRetry);
+    }
+    #[inline]
+    pub(crate) fn rcu_replace() {
+        obs::incr(Counter::RcuReplace);
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod real {
+    // Disabled build: empty inlined functions, call sites fold away.
+    #[inline(always)]
+    pub(crate) fn seqlock_read_retry() {}
+    #[inline(always)]
+    pub(crate) fn rcu_replace() {}
+}
+
+pub(crate) use real::*;

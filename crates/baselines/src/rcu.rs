@@ -30,6 +30,7 @@ impl<T> RcuCell<T> {
     /// Publish a new snapshot, retiring the old one. Callers must
     /// serialize replacements externally (e.g. under a structural mutex).
     pub fn replace(&self, value: T, guard: &Guard) {
+        crate::metrics_hook::rcu_replace();
         let old = self.inner.swap(Owned::new(value), Ordering::AcqRel, guard);
         // Widen the window between unlink and retire: readers still
         // holding the old snapshot must be protected by their pins.

@@ -37,6 +37,7 @@ impl SeqLock {
                 crate::chaos_hook::point("seqlock.read_begin");
                 return v;
             }
+            crate::metrics_hook::seqlock_read_retry();
             backoff(&mut spins);
         }
     }
@@ -45,7 +46,11 @@ impl SeqLock {
     #[inline]
     pub fn read_validate(&self, snapshot: u64) -> bool {
         crate::chaos_hook::point("seqlock.read_validate");
-        self.v.load(Ordering::Acquire) == snapshot
+        let ok = self.v.load(Ordering::Acquire) == snapshot;
+        if !ok {
+            crate::metrics_hook::seqlock_read_retry();
+        }
+        ok
     }
 
     /// Acquire the write side (spin).

@@ -155,4 +155,6 @@ fn main() {
                 .emit();
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "ablation");
 }

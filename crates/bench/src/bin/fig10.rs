@@ -109,4 +109,6 @@ fn main() {
             }
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "fig10");
 }

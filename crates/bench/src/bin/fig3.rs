@@ -87,4 +87,6 @@ fn main() {
                 .emit();
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "fig3");
 }

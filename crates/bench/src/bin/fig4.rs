@@ -69,4 +69,6 @@ fn main() {
                 .emit();
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "fig4");
 }

@@ -58,4 +58,6 @@ fn main() {
             }
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "fig6");
 }

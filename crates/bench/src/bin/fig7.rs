@@ -50,4 +50,6 @@ fn main() {
             }
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "fig7");
 }

@@ -147,4 +147,6 @@ fn main() {
             }
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "fig8");
 }

@@ -53,4 +53,6 @@ fn main() {
             }
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "fig9");
 }

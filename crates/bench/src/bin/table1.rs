@@ -43,4 +43,6 @@ fn main() {
                 .emit();
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "table1");
 }

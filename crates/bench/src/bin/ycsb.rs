@@ -85,4 +85,6 @@ fn main() {
                 .emit();
         }
     }
+
+    bench::metrics::emit_if_requested(&args, "ycsb");
 }

@@ -23,6 +23,9 @@ pub struct Args {
     pub seed: u64,
     /// Restrict to these index names (empty = all).
     pub indexes: Vec<String>,
+    /// Append hot-path metrics counters to the report (needs the crate's
+    /// `metrics` feature; see [`crate::metrics`]).
+    pub metrics: bool,
 }
 
 impl Default for Args {
@@ -36,6 +39,7 @@ impl Default for Args {
             theta: 0.99,
             seed: 42,
             indexes: Vec::new(),
+            metrics: false,
         }
     }
 }
@@ -78,10 +82,12 @@ impl Args {
                 "--indexes" => {
                     out.indexes = val().split(',').map(|s| s.to_string()).collect();
                 }
+                "--metrics" => out.metrics = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --keys N --threads N --ops N --datasets a,b \
-                         --part a|b|c|d|e --theta F --seed N --indexes x,y"
+                         --part a|b|c|d|e --theta F --seed N --indexes x,y \
+                         --metrics"
                     );
                     std::process::exit(0);
                 }
@@ -146,6 +152,7 @@ mod tests {
             "osm,fb",
             "--indexes",
             "alt-index,art",
+            "--metrics",
         ]);
         assert_eq!(a.keys, 500_000);
         assert_eq!(a.threads, 8);
@@ -154,6 +161,8 @@ mod tests {
         assert_eq!(a.datasets, vec![Dataset::Osm, Dataset::Fb]);
         assert!(a.wants_index("ART"));
         assert!(!a.wants_index("XIndex"));
+        assert!(a.metrics);
+        assert!(!parse(&[]).metrics, "off by default");
     }
 
     #[test]

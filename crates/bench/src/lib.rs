@@ -12,6 +12,7 @@
 
 pub mod cli;
 pub mod indexes;
+pub mod metrics;
 pub mod report;
 pub mod setup;
 

@@ -1,0 +1,32 @@
+//! Monotonic nanosecond clock for phase timing.
+//!
+//! `Instant` cannot be stored in a `u64` directly, so durations are
+//! measured against a process-wide epoch initialized on first use.
+//! Callers time a phase as `let t0 = now_ns(); ...; record_phase_ns(p,
+//! now_ns() - t0)`.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide epoch (first call). Monotonic;
+/// only differences are meaningful.
+#[inline]
+pub fn now_ns() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_advancing() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = now_ns();
+        assert!(b > a);
+        assert!(b - a >= 1_000_000, "slept 2ms, measured {} ns", b - a);
+    }
+}

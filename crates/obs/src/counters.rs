@@ -1,0 +1,233 @@
+//! Sharded per-event counters.
+//!
+//! Each [`Counter`] owns a small array of cache-line-padded atomics;
+//! every thread is pinned (round-robin, at first use) to one shard, so
+//! concurrent increments from different threads land on different cache
+//! lines and the hot-path cost is a single uncontended relaxed
+//! `fetch_add`. Reading a counter sums its shards — reads are rare
+//! (snapshots), writes are the hot path.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shards per counter. Enough that a typical thread count maps ~1:1;
+/// threads beyond this wrap around and share (correctness is unaffected,
+/// only padding efficiency).
+const SHARDS: usize = 16;
+
+/// One shard, padded to 128 bytes: two cache lines, so adjacent-line
+/// hardware prefetchers cannot re-introduce false sharing either.
+#[repr(align(128))]
+struct Shard(AtomicU64);
+
+/// Every countable hot-path event in the workspace, across all layers.
+///
+/// The `alt.*` counters cover the ALT-index proper (§III of the paper),
+/// `art.*` the ART-OPT substrate, `baseline.*` the seqlock/RCU
+/// primitives every baseline index is built on. See `DESIGN.md`
+/// ("Observability") for what each one means and which paper figure it
+/// supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Slot-version read retries: an optimistic slot read observed an
+    /// odd (writer-in-progress) version or failed re-validation
+    /// (§III-E).
+    SlotReadRetry,
+    /// Slot write-lock acquisition retries (even→odd CAS lost).
+    SlotLockRetry,
+    /// ART operations that entered through a live fast pointer and
+    /// completed from the jump node (§III-C working as designed).
+    FastPtrJumpHit,
+    /// ART operations that fell back to a root search although fast
+    /// pointers are enabled: no shortcut registered, a de-optimized
+    /// (zeroed) entry, or an obsolete jump node.
+    FastPtrDeopt,
+    /// Fast-pointer registrations that retried because the resolved LCA
+    /// node was replaced before the slot installed (`SetSlotResult::
+    /// Obsolete`).
+    FastPtrRegisterRetry,
+    /// Scans that re-collected because the directory epoch moved
+    /// mid-walk (a retrain published; §III-F redirection for scans).
+    ScanEpochRetry,
+    /// Opportunistic write-back attempts (Algorithm 2 lines 10-13).
+    WriteBackAttempt,
+    /// Write-backs that actually moved an ART entry into its predicted
+    /// slot.
+    WriteBackMoved,
+    /// Retrain attempts that acquired the directory lock and collected
+    /// the span.
+    RetrainAttempt,
+    /// Retrains that published a new directory.
+    RetrainCompleted,
+    /// Retrain attempts that found the span empty (everything removed)
+    /// and only reset the overflow accounting.
+    RetrainEmptySpan,
+    /// Retrain triggers skipped because another structural change held
+    /// the directory lock.
+    RetrainSkippedBusy,
+    /// OLC restarts: a version validation failed, sending the reader
+    /// back to a stable ancestor (Leis et al., DaMoN 2016).
+    OlcRestart,
+    /// Jump-path entries that resumed from the fast-pointer node and
+    /// completed there.
+    ArtJumpResume,
+    /// Jump-path entries that reported `Fallback` (obsolete node, prefix
+    /// mismatch, or a structural change needing the parent).
+    ArtJumpFallback,
+    /// Baseline seqlock read retries (spin on a writer or failed
+    /// validation).
+    SeqlockReadRetry,
+    /// Baseline RCU snapshot replacements published.
+    RcuReplace,
+}
+
+impl Counter {
+    /// All counters, in rendering order.
+    pub const ALL: [Counter; 17] = [
+        Counter::SlotReadRetry,
+        Counter::SlotLockRetry,
+        Counter::FastPtrJumpHit,
+        Counter::FastPtrDeopt,
+        Counter::FastPtrRegisterRetry,
+        Counter::ScanEpochRetry,
+        Counter::WriteBackAttempt,
+        Counter::WriteBackMoved,
+        Counter::RetrainAttempt,
+        Counter::RetrainCompleted,
+        Counter::RetrainEmptySpan,
+        Counter::RetrainSkippedBusy,
+        Counter::OlcRestart,
+        Counter::ArtJumpResume,
+        Counter::ArtJumpFallback,
+        Counter::SeqlockReadRetry,
+        Counter::RcuReplace,
+    ];
+
+    /// Stable dotted `layer.event` name used in reports and bench JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::SlotReadRetry => "alt.slot_read_retry",
+            Counter::SlotLockRetry => "alt.slot_lock_retry",
+            Counter::FastPtrJumpHit => "alt.fastptr_jump_hit",
+            Counter::FastPtrDeopt => "alt.fastptr_deopt",
+            Counter::FastPtrRegisterRetry => "alt.fastptr_register_retry",
+            Counter::ScanEpochRetry => "alt.scan_epoch_retry",
+            Counter::WriteBackAttempt => "alt.write_back_attempt",
+            Counter::WriteBackMoved => "alt.write_back_moved",
+            Counter::RetrainAttempt => "alt.retrain_attempt",
+            Counter::RetrainCompleted => "alt.retrain_completed",
+            Counter::RetrainEmptySpan => "alt.retrain_empty_span",
+            Counter::RetrainSkippedBusy => "alt.retrain_skipped_busy",
+            Counter::OlcRestart => "art.olc_restart",
+            Counter::ArtJumpResume => "art.jump_resume",
+            Counter::ArtJumpFallback => "art.jump_fallback",
+            Counter::SeqlockReadRetry => "baseline.seqlock_read_retry",
+            Counter::RcuReplace => "baseline.rcu_replace",
+        }
+    }
+}
+
+/// Number of distinct counters.
+pub(crate) const NUM_COUNTERS: usize = Counter::ALL.len();
+
+struct ShardedCounter {
+    shards: [Shard; SHARDS],
+}
+
+// Const-item initializers so the whole registry is a zero-init static.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_SHARD: Shard = Shard(AtomicU64::new(0));
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_COUNTER: ShardedCounter = ShardedCounter {
+    shards: [ZERO_SHARD; SHARDS],
+};
+static COUNTERS: [ShardedCounter; NUM_COUNTERS] = [ZERO_COUNTER; NUM_COUNTERS];
+
+/// Round-robin shard assignment: the first recording on each thread
+/// claims the next shard index, and the thread keeps it for life.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn shard_id() -> usize {
+    MY_SHARD.with(|c| {
+        let s = c.get();
+        if s != usize::MAX {
+            return s;
+        }
+        let s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        c.set(s);
+        s
+    })
+}
+
+/// Add `n` to a counter (relaxed; this is the hot path).
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    COUNTERS[counter as usize].shards[shard_id()]
+        .0
+        .fetch_add(n, Ordering::Relaxed);
+}
+
+/// Increment a counter by one.
+#[inline]
+pub fn incr(counter: Counter) {
+    add(counter, 1);
+}
+
+/// Current total of a counter (sums the shards; snapshot-time only).
+pub(crate) fn total(counter: Counter) -> u64 {
+    COUNTERS[counter as usize]
+        .shards
+        .iter()
+        .map(|s| s.0.load(Ordering::Relaxed))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_ordered_like_all() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_COUNTERS);
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "discriminants match ALL order");
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        let before = total(Counter::RcuReplace);
+        let threads = 8;
+        let per = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        incr(Counter::RcuReplace);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total(Counter::RcuReplace) - before, threads * per);
+    }
+
+    #[test]
+    fn add_batches() {
+        let before = total(Counter::SeqlockReadRetry);
+        add(Counter::SeqlockReadRetry, 41);
+        incr(Counter::SeqlockReadRetry);
+        assert_eq!(total(Counter::SeqlockReadRetry) - before, 42);
+    }
+}

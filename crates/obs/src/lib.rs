@@ -1,0 +1,43 @@
+//! Hot-path observability for the ALT-index workspace.
+//!
+//! The concurrent hot paths of this workspace are optimistic protocols:
+//! slot-version reads that retry, OLC descents that restart, scans that
+//! re-collect when the directory epoch moves, fast-pointer jumps that
+//! de-optimize to root searches. None of that work is visible in the
+//! O(slots) [`alt-index` stats snapshot], and the "Benchmarking Learned
+//! Indexes" methodology (and the paper's §III-C/§III-F analysis) says to
+//! measure exactly it. This crate is the shared sink:
+//!
+//! * [`Counter`] — every countable hot-path event, recorded through
+//!   [`incr`]/[`add`] into **cache-line-padded sharded atomics** so
+//!   concurrent recording never false-shares;
+//! * [`Phase`] — timed phases (retrain collect/build/swap/cleanup),
+//!   recorded through [`record_phase_ns`] into atomic histograms that
+//!   share [`workloads::LatencyHistogram`]'s bucket layout;
+//! * [`snapshot`] / [`MetricsSnapshot::delta`] — consistent-enough
+//!   (per-counter monotone) point-in-time readings for reports and
+//!   before/after assertions.
+//!
+//! # Zero cost when off
+//!
+//! This crate always compiles its real implementation; the *instrumented*
+//! crates (`alt-index`, `art`, `baselines`) gate their recording hooks
+//! behind a `metrics` cargo feature, exactly like the `chaos` testkit
+//! hooks: without the feature the hooks are empty `#[inline(always)]`
+//! functions and this crate is not even linked. With the feature on, a
+//! counter bump is one thread-local read plus one relaxed `fetch_add` on
+//! a thread-private cache line.
+//!
+//! [`alt-index` stats snapshot]: ../alt_index/stats/index.html
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+mod counters;
+mod phases;
+mod snapshot;
+
+pub use counters::{add, incr, Counter};
+pub use phases::{record_phase_ns, Phase};
+pub use snapshot::{snapshot, MetricsSnapshot};

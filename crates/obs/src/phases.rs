@@ -1,0 +1,99 @@
+//! Timed-phase recorders: atomic histograms sharing the bucket layout of
+//! [`workloads::LatencyHistogram`].
+//!
+//! Phases are rare relative to point operations (a retrain collect runs
+//! once per thousands of inserts), so one unsharded relaxed `fetch_add`
+//! per sample is plenty; what matters is that snapshots can merge the
+//! buckets straight into a [`workloads::LatencyHistogram`] and reuse its
+//! quantile machinery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use workloads::LatencyHistogram;
+
+/// Every timed hot-path phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Retrain: collecting live slots + the span's ART range and merging
+    /// them (runs under the model's write lock — this is the writer
+    /// stall window of §III-F).
+    RetrainCollect,
+    /// Retrain: GPL re-segmentation, model construction, conflict
+    /// demotion, and fast-pointer registration.
+    RetrainBuild,
+    /// Retrain: directory publication (epoch bump + RCU swap + retire).
+    RetrainSwap,
+    /// Retrain: removing the ART keys the new slots absorbed
+    /// (write-back of §III-F).
+    RetrainCleanup,
+}
+
+impl Phase {
+    /// All phases, in rendering order.
+    pub const ALL: [Phase; 4] = [
+        Phase::RetrainCollect,
+        Phase::RetrainBuild,
+        Phase::RetrainSwap,
+        Phase::RetrainCleanup,
+    ];
+
+    /// Stable dotted name used in reports and bench JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::RetrainCollect => "retrain.collect_ns",
+            Phase::RetrainBuild => "retrain.build_ns",
+            Phase::RetrainSwap => "retrain.swap_ns",
+            Phase::RetrainCleanup => "retrain.cleanup_ns",
+        }
+    }
+}
+
+/// Number of distinct phases.
+pub(crate) const NUM_PHASES: usize = Phase::ALL.len();
+
+struct AtomicHistogram {
+    counts: [AtomicU64; LatencyHistogram::NUM_BUCKETS],
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_BUCKET: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_HIST: AtomicHistogram = AtomicHistogram {
+    counts: [ZERO_BUCKET; LatencyHistogram::NUM_BUCKETS],
+};
+static PHASES: [AtomicHistogram; NUM_PHASES] = [ZERO_HIST; NUM_PHASES];
+
+/// Record one duration sample (nanoseconds) for `phase`.
+#[inline]
+pub fn record_phase_ns(phase: Phase, ns: u64) {
+    PHASES[phase as usize].counts[LatencyHistogram::bucket_index(ns)]
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// Raw bucket counts for a phase (snapshot-time only).
+pub(crate) fn phase_counts(phase: Phase) -> Vec<u64> {
+    PHASES[phase as usize]
+        .counts
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorded_samples_round_trip_through_latency_histogram() {
+        let before = phase_counts(Phase::RetrainSwap);
+        for v in [100u64, 1_000, 1_000, 50_000] {
+            record_phase_ns(Phase::RetrainSwap, v);
+        }
+        let after = phase_counts(Phase::RetrainSwap);
+        let delta: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        let h = LatencyHistogram::from_bucket_counts(&delta);
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile(0.5) <= 1_000 && h.quantile(0.5) >= 900);
+        assert!(h.quantile(1.0) >= 48_000);
+    }
+}

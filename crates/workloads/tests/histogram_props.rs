@@ -1,0 +1,138 @@
+//! Property-based tests for `LatencyHistogram`'s quantile edges — the
+//! guarantees the bench reports (and the `obs` phase recorders built on
+//! the same buckets) depend on:
+//!
+//! 1. **documented error** — for any sample set and any quantile, the
+//!    reported value is the bucket lower edge of the exact sorted-sample
+//!    quantile, i.e. within one bucket's relative width (1/32 ≈ 3.125%)
+//!    below the true value and never above it;
+//! 2. **edge cases** — q = 0.0 (reports the smallest sample's bucket),
+//!    a single sample, values at 0 and `u64::MAX`, q >= 1.0 (the exact
+//!    maximum);
+//! 3. **bucket round-trip** — rebuilding from raw bucket counts
+//!    (`from_bucket_counts`, the obs snapshot path) reports the same
+//!    quantiles as the directly-recorded histogram.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use workloads::LatencyHistogram;
+
+/// The exact quantile the histogram approximates: the ceil(n*q)-th
+/// smallest sample (1-based), clamped to at least the 1st.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((n * q).ceil() as usize).max(1).min(sorted.len());
+    sorted[rank - 1]
+}
+
+/// Mixed-magnitude samples: tiny exact-bucket values, mid-range, and
+/// near-overflow, so every tier of the bucket layout gets exercised.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        vec(0u64..64, 1..max_len),
+        vec(0u64..1_000_000, 1..max_len),
+        vec(u64::MAX - 1_000_000..=u64::MAX, 1..max_len),
+        vec(any::<u64>(), 1..max_len),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Invariant 1: the reported quantile equals the bucket floor of the
+    /// exact quantile — at most 1/32 relatively below it, never above.
+    #[test]
+    fn quantile_is_bucket_floor_of_exact(
+        s in samples(300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut s = s;
+        let mut h = LatencyHistogram::new();
+        for &v in &s {
+            h.record(v);
+        }
+        s.sort_unstable();
+        let exact = exact_quantile(&s, q);
+        let got = h.quantile(q);
+        prop_assert_eq!(
+            got,
+            LatencyHistogram::bucket_lower(LatencyHistogram::bucket_index(exact)),
+            "q={} exact={}", q, exact
+        );
+        prop_assert!(got <= exact, "quantile may only round down");
+        // Documented relative error: one bucket's width. For the exact
+        // small-value tier the floor IS the value.
+        let floor_gap = exact - got;
+        prop_assert!(
+            (floor_gap as f64) <= (exact as f64) / 32.0 + 1.0,
+            "gap {} exceeds bucket width at {}", floor_gap, exact
+        );
+    }
+
+    /// Invariant 2a: q = 0.0 reports the smallest sample's bucket floor,
+    /// q >= 1.0 the exact maximum — for any sample set.
+    #[test]
+    fn extreme_quantiles(s in samples(200)) {
+        let mut s = s;
+        let mut h = LatencyHistogram::new();
+        for &v in &s {
+            h.record(v);
+        }
+        s.sort_unstable();
+        prop_assert_eq!(
+            h.quantile(0.0),
+            LatencyHistogram::bucket_lower(LatencyHistogram::bucket_index(s[0]))
+        );
+        prop_assert_eq!(h.quantile(1.0), *s.last().unwrap(), "max is exact");
+        prop_assert_eq!(h.quantile(2.0), *s.last().unwrap());
+    }
+
+    /// Invariant 2b: a single sample dominates every quantile.
+    #[test]
+    fn single_sample_everywhere(v in any::<u64>(), q in 0.0f64..1.0) {
+        let mut h = LatencyHistogram::new();
+        h.record(v);
+        let floor = LatencyHistogram::bucket_lower(LatencyHistogram::bucket_index(v));
+        prop_assert_eq!(h.quantile(q), floor);
+        prop_assert_eq!(h.quantile(1.0), v);
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    /// Invariant 3: the bucket-count round-trip (how obs snapshots turn
+    /// atomic bucket arrays back into histograms) preserves count and
+    /// every quantile below 1.0; the max degrades to its bucket floor.
+    #[test]
+    fn bucket_counts_round_trip(s in samples(300), q in 0.0f64..1.0) {
+        let mut h = LatencyHistogram::new();
+        let mut counts = vec![0u64; LatencyHistogram::NUM_BUCKETS];
+        for &v in &s {
+            h.record(v);
+            counts[LatencyHistogram::bucket_index(v)] += 1;
+        }
+        let rebuilt = LatencyHistogram::from_bucket_counts(&counts);
+        prop_assert_eq!(rebuilt.count(), h.count());
+        prop_assert_eq!(rebuilt.quantile(q), h.quantile(q), "q={}", q);
+        prop_assert_eq!(
+            rebuilt.max(),
+            LatencyHistogram::bucket_lower(LatencyHistogram::bucket_index(h.max()))
+        );
+    }
+}
+
+#[test]
+fn u64_max_lands_in_last_bucket_without_panic() {
+    let mut h = LatencyHistogram::new();
+    h.record(u64::MAX);
+    h.record(0);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.quantile(1.0), u64::MAX);
+    assert_eq!(h.quantile(0.25), 0);
+    // The top tier's buckets sit below NUM_BUCKETS - 1 (the array keeps
+    // headroom); what matters is in-bounds and a top-tier-sized floor.
+    let idx = LatencyHistogram::bucket_index(u64::MAX);
+    assert!(idx < LatencyHistogram::NUM_BUCKETS);
+    assert!(
+        LatencyHistogram::bucket_lower(idx) > u64::MAX / 2,
+        "top-tier floor"
+    );
+}
