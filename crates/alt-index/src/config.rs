@@ -21,6 +21,14 @@ pub struct AltConfig {
     /// Enable opportunistic write-back of ART entries into tombstoned GPL
     /// slots during reads (Algorithm 2 lines 10-13).
     pub write_back: bool,
+    /// Backoff tiers and retry budget for this index's operation-level
+    /// optimistic loops (get/insert/update/remove/scan — the loops with
+    /// a pessimistic escalation). Defaults to the process-global policy
+    /// ([`resilience::global`], overridable via `ALT_RESILIENCE_*` env
+    /// vars), snapshotted when the config is created. Inner primitives
+    /// shared across indexes (slot arrays, spin locks, ART's OLC) always
+    /// follow the process-global policy.
+    pub contention: resilience::ContentionPolicy,
 }
 
 impl AltConfig {
@@ -44,6 +52,7 @@ impl Default for AltConfig {
             fast_pointers: true,
             retrain: true,
             write_back: true,
+            contention: resilience::global(),
         }
     }
 }

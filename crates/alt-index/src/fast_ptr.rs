@@ -138,12 +138,18 @@ impl FastPointerBuffer {
     ///
     /// Implements the merge scheme: if the LCA already carries an entry,
     /// that entry index is returned and the reservation is rolled back.
+    ///
+    /// The Obsolete retry loop is budget-bounded: registration is an
+    /// optimization, so when ART churn keeps replacing the resolved LCA
+    /// the escalation is simply [`NO_FAST`] — the model searches from
+    /// the root (correct, just slower) instead of retrying forever.
     pub fn register(&self, art: &Art, k1: u64, k2: u64) -> u32 {
         // One logical registration, however many times the install loop
         // below retries: counting inside the loop inflated this metric by
         // one per `Obsolete` (node-replaced-under-us) retry, overstating
         // the merge scheme's savings in the Fig 10(b) comparison.
         self.unmerged_registrations.fetch_add(1, Ordering::Relaxed);
+        let mut retry = crate::contention::Retry::seeded(k1);
         loop {
             let Some((node, _depth)) = art.lca_node(k1, k2) else {
                 return NO_FAST;
@@ -177,8 +183,16 @@ impl FastPointerBuffer {
                 }
                 SetSlotResult::Obsolete => {
                     self.len.store(idx, Ordering::Release);
-                    // Node replaced under us: retry from lca resolution.
+                    // Node replaced under us: retry from lca resolution,
+                    // de-optimizing once the retry budget runs out. Drop
+                    // the append lock first — backing off may park, and
+                    // other registrations must not wait behind our nap.
+                    drop(_g);
                     crate::metrics_hook::fastptr_register_retry();
+                    if crate::contention::wait_or_escalate(&mut retry) {
+                        crate::metrics_hook::fastptr_deopt();
+                        return NO_FAST;
+                    }
                     continue;
                 }
             }

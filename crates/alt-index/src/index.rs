@@ -206,6 +206,7 @@ impl AltIndex {
             return None;
         }
         let guard = epoch::pin();
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             let dir = self.dir_ref(&guard);
             let m = dir.model_for(key);
@@ -218,6 +219,12 @@ impl AltIndex {
                     // means the key cannot exist — unless the model was
                     // concurrently replaced (different predictions).
                     if m.is_retired() {
+                        if crate::contention::wait_or_escalate_with(
+                            &mut retry,
+                            &self.cfg.contention,
+                        ) {
+                            return self.get_pessimistic(key);
+                        }
                         continue;
                     }
                     return None;
@@ -236,6 +243,12 @@ impl AltIndex {
                             // The miss is only conclusive if nothing moved
                             // under us.
                             if m.is_retired() || !m.slots.version_unchanged(pred, ver) {
+                                if crate::contention::wait_or_escalate_with(
+                                    &mut retry,
+                                    &self.cfg.contention,
+                                ) {
+                                    return self.get_pessimistic(key);
+                                }
                                 continue;
                             }
                             return None;
@@ -244,6 +257,35 @@ impl AltIndex {
                 }
             }
         }
+    }
+
+    /// Guaranteed-progress lookup fallback, used once the optimistic
+    /// loop's retry budget is exhausted.
+    ///
+    /// `dir_lock` freezes the directory (no retrain can publish, so the
+    /// current generation's models cannot retire and predictions are
+    /// stable); the predicted slot's *write lock* is the per-key
+    /// serialization point — every inserter of `key` must take it before
+    /// publishing (see `insert`), so a slot-or-ART miss observed under
+    /// it is conclusive without any version re-validation.
+    ///
+    /// Lock order is `dir_lock` → slot lock → ART node locks, the same
+    /// global order every other path uses (retrain: `dir_lock` →
+    /// `op_lock.write` → slot reads; slot writers: `op_lock.read` → slot
+    /// lock → ART). `maybe_retrain` only `try_lock`s `dir_lock`, so an
+    /// escalated op can never deadlock a retrain trigger — it just shows
+    /// up as `RetrainSkippedBusy`.
+    fn get_pessimistic(&self, key: u64) -> Option<u64> {
+        let _dl = self.dir_lock.lock();
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        let m = dir.model_for(key);
+        let pred = m.predict(key);
+        m.slots.with_write(pred, |g| match g.state() {
+            SlotState::Occupied { key: k, value } if k == key => Some(value),
+            SlotState::Empty => None,
+            SlotState::Tombstone | SlotState::Occupied { .. } => self.art_get(m, key),
+        })
     }
 
     /// Opportunistic write-back (Algorithm 2 lines 10-13): move an ART
@@ -281,82 +323,22 @@ impl AltIndex {
         if key == 0 {
             return Err(IndexError::ReservedKey);
         }
-        enum Placed {
-            Slot,
-            Art,
-            Dup,
-        }
         let mut want_retrain = false;
+        let mut retry = crate::contention::Retry::seeded(key);
         let res = loop {
             let guard = epoch::pin();
             let dir = self.dir_ref(&guard);
             let m = dir.model_for(key);
             let _rl = m.op_lock.read();
             if m.is_retired() {
+                // The only retry source here is retrain churn: escalating
+                // under `dir_lock` stops it.
+                if crate::contention::wait_or_escalate_with(&mut retry, &self.cfg.contention) {
+                    break self.insert_pessimistic(key, value, &mut want_retrain);
+                }
                 continue;
             }
-            let pred = m.predict(key);
-            // The whole slot-vs-ART placement decision runs under the
-            // predicted slot's write lock. That slot is the per-key
-            // serialization point: every inserter of `key` under this
-            // model generation predicts the same slot, so holding its
-            // lock across the ART presence check / ART publication means
-            // a racing claim and a racing ART insert of the same key can
-            // never interleave. The earlier publish-then-recheck protocol
-            // let a losing insert transiently expose its value through
-            // ART before undoing it — a failed insert whose value
-            // concurrent readers could observe (caught by the chaos
-            // testkit's oracle).
-            let placed = m.slots.with_write(pred, |g| match g.state() {
-                SlotState::Occupied { key: k, .. } if k == key => Placed::Dup,
-                SlotState::Empty => {
-                    g.install(key, value);
-                    Placed::Slot
-                }
-                SlotState::Tombstone => {
-                    // The key may still live in ART from before the
-                    // resident was removed; checked under the lock so the
-                    // answer cannot go stale before we claim.
-                    if self.art_get(m, key).is_some() {
-                        Placed::Dup
-                    } else {
-                        g.install(key, value);
-                        Placed::Slot
-                    }
-                }
-                SlotState::Occupied { .. } => {
-                    if self.art_insert(m, key, value) {
-                        Placed::Art
-                    } else {
-                        Placed::Dup
-                    }
-                }
-            });
-            match placed {
-                Placed::Dup => break Err(IndexError::DuplicateKey),
-                Placed::Slot => break Ok(()),
-                Placed::Art => {
-                    let overflow = m.art_inserts.fetch_add(1, Ordering::Relaxed) + 1;
-                    // A model built when ART was shallow has no shortcut
-                    // (or a near-root one). (Re-)resolve the LCA lazily as
-                    // the subtree grows: promptly while the model has no
-                    // pointer, then occasionally to chase tree growth.
-                    let fs = m.fast();
-                    if self.cfg.fast_pointers
-                        && ((fs == NO_FAST && overflow % 32 == 1) || overflow.is_multiple_of(256))
-                    {
-                        let mi = dir.locate(key);
-                        if let Some(upper) = dir.upper_bound(mi) {
-                            let slot = self.buffer.register(&self.art, m.first_key, upper);
-                            if slot != NO_FAST {
-                                m.fast_slot.store(slot, Ordering::Release);
-                            }
-                        }
-                    }
-                    want_retrain = m.wants_retrain();
-                    break Ok(());
-                }
-            }
+            break self.place(dir, m, key, value, &mut want_retrain);
         };
         if res.is_ok() {
             self.len.fetch_add(1, Ordering::Relaxed);
@@ -367,12 +349,116 @@ impl AltIndex {
         res
     }
 
+    /// The slot-vs-ART placement decision shared by the optimistic and
+    /// escalated insert paths. The caller holds `m.op_lock.read()` and
+    /// has checked `m` is not retired; an epoch pin covering the `dir`
+    /// read must be live.
+    ///
+    /// The whole decision runs under the predicted slot's write lock.
+    /// That slot is the per-key serialization point: every inserter of
+    /// `key` under this model generation predicts the same slot, so
+    /// holding its lock across the ART presence check / ART publication
+    /// means a racing claim and a racing ART insert of the same key can
+    /// never interleave. The earlier publish-then-recheck protocol let a
+    /// losing insert transiently expose its value through ART before
+    /// undoing it — a failed insert whose value concurrent readers could
+    /// observe (caught by the chaos testkit's oracle).
+    fn place(
+        &self,
+        dir: &ModelDir,
+        m: &GplModel,
+        key: u64,
+        value: u64,
+        want_retrain: &mut bool,
+    ) -> Result<()> {
+        enum Placed {
+            Slot,
+            Art,
+            Dup,
+        }
+        let pred = m.predict(key);
+        let placed = m.slots.with_write(pred, |g| match g.state() {
+            SlotState::Occupied { key: k, .. } if k == key => Placed::Dup,
+            SlotState::Empty => {
+                g.install(key, value);
+                Placed::Slot
+            }
+            SlotState::Tombstone => {
+                // The key may still live in ART from before the
+                // resident was removed; checked under the lock so the
+                // answer cannot go stale before we claim.
+                if self.art_get(m, key).is_some() {
+                    Placed::Dup
+                } else {
+                    g.install(key, value);
+                    Placed::Slot
+                }
+            }
+            SlotState::Occupied { .. } => {
+                if self.art_insert(m, key, value) {
+                    Placed::Art
+                } else {
+                    Placed::Dup
+                }
+            }
+        });
+        match placed {
+            Placed::Dup => Err(IndexError::DuplicateKey),
+            Placed::Slot => Ok(()),
+            Placed::Art => {
+                let overflow = m.art_inserts.fetch_add(1, Ordering::Relaxed) + 1;
+                // A model built when ART was shallow has no shortcut
+                // (or a near-root one). (Re-)resolve the LCA lazily as
+                // the subtree grows: promptly while the model has no
+                // pointer, then occasionally to chase tree growth.
+                let fs = m.fast();
+                if self.cfg.fast_pointers
+                    && ((fs == NO_FAST && overflow % 32 == 1) || overflow.is_multiple_of(256))
+                {
+                    let mi = dir.locate(key);
+                    if let Some(upper) = dir.upper_bound(mi) {
+                        let slot = self.buffer.register(&self.art, m.first_key, upper);
+                        if slot != NO_FAST {
+                            m.fast_slot.store(slot, Ordering::Release);
+                        }
+                    }
+                }
+                *want_retrain = m.wants_retrain();
+                Ok(())
+            }
+        }
+    }
+
+    /// Escalated insert: under `dir_lock` no retrain can publish, so the
+    /// freshly-loaded model cannot retire and the placement runs exactly
+    /// once. See `get_pessimistic` for the lock-order argument.
+    fn insert_pessimistic(&self, key: u64, value: u64, want_retrain: &mut bool) -> Result<()> {
+        let _dl = self.dir_lock.lock();
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        let m = dir.model_for(key);
+        // Keeps "every slot writer holds the op-lock read side"
+        // unconditionally true (uncontended here: retrain, the only
+        // write-side taker, needs `dir_lock` first).
+        let _rl = m.op_lock.read();
+        self.place(dir, m, key, value, want_retrain)
+    }
+
     /// Update an existing key in place.
     pub fn update(&self, key: u64, value: u64) -> Result<()> {
         if key == 0 {
             return Err(IndexError::ReservedKey);
         }
         let guard = epoch::pin();
+        let mut retry = crate::contention::Retry::seeded(key);
+        macro_rules! retry_or_escalate {
+            () => {
+                if crate::contention::wait_or_escalate_with(&mut retry, &self.cfg.contention) {
+                    return self.update_pessimistic(key, value);
+                }
+                continue;
+            };
+        }
         loop {
             let dir = self.dir_ref(&guard);
             let m = dir.model_for(key);
@@ -383,7 +469,7 @@ impl AltIndex {
             // swap (lost update — found by the chaos testkit oracle).
             let _rl = m.op_lock.read();
             if m.is_retired() {
-                continue;
+                retry_or_escalate!();
             }
             let pred = m.predict(key);
             let (state, ver) = m.slots.read(pred);
@@ -392,11 +478,11 @@ impl AltIndex {
                     if m.slots.update_if_key(pred, key, value) {
                         return Ok(());
                     }
-                    continue; // slot changed under us
+                    retry_or_escalate!(); // slot changed under us
                 }
                 SlotState::Empty => {
                     if m.is_retired() {
-                        continue;
+                        retry_or_escalate!();
                     }
                     return Err(IndexError::KeyNotFound);
                 }
@@ -405,12 +491,39 @@ impl AltIndex {
                         return Ok(());
                     }
                     if m.is_retired() || !m.slots.version_unchanged(pred, ver) {
-                        continue;
+                        retry_or_escalate!();
                     }
                     return Err(IndexError::KeyNotFound);
                 }
             }
         }
+    }
+
+    /// Escalated update: `dir_lock` freezes the directory, the predicted
+    /// slot's write lock serializes against every inserter/remover of
+    /// `key`, so the slot-or-ART decision is conclusive in one pass. See
+    /// `get_pessimistic` for the lock-order argument.
+    fn update_pessimistic(&self, key: u64, value: u64) -> Result<()> {
+        let _dl = self.dir_lock.lock();
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        let m = dir.model_for(key);
+        let _rl = m.op_lock.read();
+        let pred = m.predict(key);
+        m.slots.with_write(pred, |g| match g.state() {
+            SlotState::Occupied { key: k, .. } if k == key => {
+                g.set_value(value);
+                Ok(())
+            }
+            SlotState::Empty => Err(IndexError::KeyNotFound),
+            SlotState::Tombstone | SlotState::Occupied { .. } => {
+                if self.art.update(key, value) {
+                    Ok(())
+                } else {
+                    Err(IndexError::KeyNotFound)
+                }
+            }
+        })
     }
 
     /// Insert-or-update.
@@ -427,12 +540,21 @@ impl AltIndex {
             return None;
         }
         let guard = epoch::pin();
+        let mut retry = crate::contention::Retry::seeded(key);
+        macro_rules! retry_or_escalate {
+            () => {
+                if crate::contention::wait_or_escalate_with(&mut retry, &self.cfg.contention) {
+                    return self.remove_pessimistic(key);
+                }
+                continue;
+            };
+        }
         loop {
             let dir = self.dir_ref(&guard);
             let m = dir.model_for(key);
             let _rl = m.op_lock.read();
             if m.is_retired() {
-                continue;
+                retry_or_escalate!();
             }
             let pred = m.predict(key);
             let (state, ver) = m.slots.read(pred);
@@ -463,12 +585,14 @@ impl AltIndex {
                             self.len.fetch_sub(1, Ordering::Relaxed);
                             return Some(v);
                         }
-                        None => continue,
+                        None => {
+                            retry_or_escalate!();
+                        }
                     }
                 }
                 SlotState::Empty => {
                     if m.is_retired() {
-                        continue;
+                        retry_or_escalate!();
                     }
                     return None;
                 }
@@ -479,13 +603,43 @@ impl AltIndex {
                     }
                     None => {
                         if m.is_retired() || !m.slots.version_unchanged(pred, ver) {
-                            continue;
+                            retry_or_escalate!();
                         }
                         return None;
                     }
                 },
             }
         }
+    }
+
+    /// Escalated remove: one conclusive pass under `dir_lock` + the
+    /// predicted slot's write lock (the per-key serialization point —
+    /// the tombstone + ART clear stay inside one critical section for
+    /// the same reason as the optimistic path). See `get_pessimistic`
+    /// for the lock-order argument.
+    fn remove_pessimistic(&self, key: u64) -> Option<u64> {
+        let removed = {
+            let _dl = self.dir_lock.lock();
+            let guard = epoch::pin();
+            let dir = self.dir_ref(&guard);
+            let m = dir.model_for(key);
+            let _rl = m.op_lock.read();
+            let pred = m.predict(key);
+            m.slots.with_write(pred, |g| match g.state() {
+                SlotState::Occupied { key: k, value } if k == key => {
+                    crate::chaos_hook::point("slots.remove.pre_tombstone");
+                    g.clear();
+                    self.art.remove(key);
+                    Some(value)
+                }
+                SlotState::Empty => None,
+                SlotState::Tombstone | SlotState::Occupied { .. } => self.art.remove(key),
+            })
+        };
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// Approximate resident bytes: learned layer + ART + fast pointer
@@ -500,8 +654,23 @@ impl AltIndex {
 
 impl Drop for AltIndex {
     fn drop(&mut self) {
-        // SAFETY: &mut self guarantees no concurrent readers; the
-        // unprotected guard is the standard teardown pattern.
+        // SAFETY: mirrors the `dir_ref` invariant ("the directory is
+        // always initialized and only replaced under `dir_lock` with
+        // epoch-deferred destruction") at teardown:
+        // * `epoch::unprotected()` is sound because `&mut self` proves
+        //   no thread can be pinned on this index — every `dir_ref`
+        //   borrow is tied to a `Guard` that cannot outlive a shared
+        //   borrow of `self`, so no snapshot of the directory is still
+        //   in use and nothing can retire it concurrently.
+        // * The `Relaxed` load is sufficient for the same reason:
+        //   obtaining `&mut self` required external synchronization
+        //   (join/Arc teardown) that happens-after every prior
+        //   publication of `self.dir`, so this thread already observes
+        //   the final pointer; there is no concurrent writer left to
+        //   order against.
+        // * `into_owned` cannot double-free: retrains swap the old
+        //   directory into `defer_destroy`, never leaving two owners of
+        //   the current pointer.
         unsafe {
             let d = self.dir.load(Ordering::Relaxed, epoch::unprotected());
             if !d.is_null() {

@@ -44,6 +44,7 @@
 mod api;
 pub(crate) mod chaos_hook;
 pub mod config;
+pub(crate) mod contention;
 pub mod dir;
 pub mod fast_ptr;
 pub mod index;

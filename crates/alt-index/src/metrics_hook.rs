@@ -60,6 +60,18 @@ mod real {
     pub(crate) fn retrain_skipped_busy() {
         obs::incr(Counter::RetrainSkippedBusy);
     }
+    #[inline]
+    pub(crate) fn escalation() {
+        obs::incr(Counter::AltEscalation);
+    }
+    #[inline]
+    pub(crate) fn backoff_transition(tier: resilience::Tier) {
+        match tier {
+            resilience::Tier::Spin => {}
+            resilience::Tier::Yield => obs::incr(Counter::AltBackoffYield),
+            resilience::Tier::Park => obs::incr(Counter::AltBackoffPark),
+        }
+    }
 
     /// Monotonic timestamp for phase timing; pair with the `retrain_*_done`
     /// recorders below.
@@ -119,6 +131,10 @@ mod real {
     pub(crate) fn retrain_empty_span() {}
     #[inline(always)]
     pub(crate) fn retrain_skipped_busy() {}
+    #[inline(always)]
+    pub(crate) fn escalation() {}
+    #[inline(always)]
+    pub(crate) fn backoff_transition(_tier: resilience::Tier) {}
     #[inline(always)]
     pub(crate) fn now_ns() -> u64 {
         0

@@ -31,6 +31,11 @@ impl AltIndex {
 
         let mut learned: Vec<(u64, u64)> = Vec::new();
         let mut art_side: Vec<(u64, u64)> = Vec::new();
+        // Retrain churn can move the directory epoch every pass; once the
+        // retry budget runs out, one pass under `dir_lock` (the only
+        // place the epoch is bumped) is guaranteed to validate.
+        let mut retry = crate::contention::Retry::seeded(lo);
+        let mut dl = None;
         loop {
             learned.clear();
             art_side.clear();
@@ -65,7 +70,11 @@ impl AltIndex {
                 break;
             }
             crate::metrics_hook::scan_epoch_retry();
+            if crate::contention::wait_or_escalate_with(&mut retry, &self.cfg.contention) {
+                dl = Some(self.dir_lock.lock());
+            }
         }
+        drop(dl);
 
         // Merge (both ascending); on the transient double-presence the
         // learned copy wins.
@@ -103,9 +112,12 @@ impl AltIndex {
         let guard = epoch::pin();
 
         // Same ordering discipline as `range`: ART first, slots second,
-        // retry when the directory epoch moves mid-collection.
+        // retry when the directory epoch moves mid-collection, escalate
+        // to one pass under `dir_lock` when the budget runs out.
         let mut learned: Vec<(u64, u64)> = Vec::with_capacity(n);
         let mut art_side: Vec<(u64, u64)> = Vec::with_capacity(n);
+        let mut retry = crate::contention::Retry::seeded(lo);
+        let mut dl = None;
         loop {
             learned.clear();
             art_side.clear();
@@ -136,7 +148,11 @@ impl AltIndex {
                 break;
             }
             crate::metrics_hook::scan_epoch_retry();
+            if crate::contention::wait_or_escalate_with(&mut retry, &self.cfg.contention) {
+                dl = Some(self.dir_lock.lock());
+            }
         }
+        drop(dl);
 
         // Merge-truncate.
         let (mut i, mut j) = (0usize, 0usize);

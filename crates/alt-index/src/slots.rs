@@ -10,18 +10,6 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-/// Bounded spinning: a few pause cycles, then yield so a preempted writer
-/// can finish (matters on oversubscribed hosts).
-#[inline]
-fn backoff(spins: &mut u32) {
-    *spins += 1;
-    if *spins < 64 {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
-    }
-}
-
 /// One consistent snapshot of a slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlotState {
@@ -121,14 +109,19 @@ impl SlotArray {
     }
 
     /// Read a consistent snapshot of slot `i`, together with the version
-    /// it was taken at (always even). Spins while a writer is mid-flight.
+    /// it was taken at (always even). Backs off (spin → yield → park)
+    /// while a writer is mid-flight; once the retry budget is exhausted
+    /// it escalates to a locked read, so the snapshot completes even
+    /// against a pathological writer schedule.
     pub fn read(&self, i: usize) -> (SlotState, u32) {
-        let mut spins = 0u32;
+        let mut retry = crate::contention::Retry::seeded(i as u64);
         loop {
             let v1 = self.slots[i].version.load(Ordering::Acquire);
             if v1 & 1 == 1 {
                 crate::metrics_hook::slot_read_retry();
-                backoff(&mut spins);
+                if crate::contention::wait_or_escalate(&mut retry) {
+                    return self.read_locked(i);
+                }
                 continue;
             }
             if !self.occupied_bit(i) {
@@ -138,6 +131,9 @@ impl SlotArray {
                     return (SlotState::Empty, v1);
                 }
                 crate::metrics_hook::slot_read_retry();
+                if crate::contention::wait_or_escalate(&mut retry) {
+                    return self.read_locked(i);
+                }
                 continue;
             }
             let key = self.slots[i].key.load(Ordering::Acquire);
@@ -151,6 +147,9 @@ impl SlotArray {
                 && self.slots[i].version.load(Ordering::Acquire) != v1
             {
                 crate::metrics_hook::slot_read_retry();
+                if crate::contention::wait_or_escalate(&mut retry) {
+                    return self.read_locked(i);
+                }
                 continue;
             }
             let state = if key == 0 {
@@ -162,10 +161,28 @@ impl SlotArray {
         }
     }
 
-    /// Lock slot `i` (even→odd CAS, spinning) and return the pre-lock
-    /// version. The caller must follow with [`SlotArray::unlock`].
+    /// Pessimistic read fallback: take the slot write lock, snapshot the
+    /// state, release. Guaranteed to terminate (lock waits have a holder
+    /// that finishes) at the cost of one version bump, which may bounce
+    /// concurrent optimistic readers — acceptable, since this only runs
+    /// after a full retry budget of failed optimistic attempts. The
+    /// returned version is the post-unlock (even) version, valid for
+    /// [`SlotArray::version_unchanged`] checks like any optimistic
+    /// snapshot.
+    fn read_locked(&self, i: usize) -> (SlotState, u32) {
+        let pre = self.lock(i);
+        let state = SlotGuard { arr: self, i }.state();
+        self.unlock(i, pre);
+        (state, pre.wrapping_add(2))
+    }
+
+    /// Lock slot `i` (even→odd CAS, backing off) and return the pre-lock
+    /// version. The caller must follow with [`SlotArray::unlock`]. The
+    /// wait never escalates — the current holder's progress is this
+    /// path's progress guarantee — but it does park past the budget so a
+    /// long queue stops burning CPU.
     fn lock(&self, i: usize) -> u32 {
-        let mut spins = 0u32;
+        let mut retry = crate::contention::Retry::seeded(i as u64);
         loop {
             let v = self.slots[i].version.load(Ordering::Acquire);
             if v & 1 == 0
@@ -179,8 +196,11 @@ impl SlotArray {
                 crate::chaos_hook::point("slots.lock.held");
                 return v;
             }
+            // Let the testkit perturb lock-acquisition interleavings
+            // (who wins a contended CAS), not just the held window.
+            crate::chaos_hook::point("slots.lock.spin");
             crate::metrics_hook::slot_lock_retry();
-            backoff(&mut spins);
+            crate::contention::wait(&mut retry);
         }
     }
 

@@ -26,9 +26,11 @@ impl SpinLock {
         }
     }
 
-    /// Acquire, spinning.
+    /// Acquire, with tiered backoff (spin → yield → park). The wait
+    /// never escalates — the holder's progress is the guarantee — but it
+    /// parks past the retry budget so long waits stop burning CPU.
     pub fn lock(&self) -> SpinGuard<'_> {
-        let mut spins = 0u32;
+        let mut retry = crate::contention::Retry::new();
         loop {
             if !self.flag.swap(true, Ordering::Acquire) {
                 // Stretch the critical section so lock-free readers race
@@ -37,12 +39,7 @@ impl SpinLock {
                 return SpinGuard(self);
             }
             while self.flag.load(Ordering::Relaxed) {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
+                crate::contention::wait(&mut retry);
             }
         }
     }

@@ -1,0 +1,46 @@
+//! Glue between this crate's optimistic retry loops and the shared
+//! [`resilience`] layer — same pattern as the `contention` module in
+//! `alt-index`: every unbounded loop carries a stack-local
+//! [`resilience::Retry`], and these helpers record backoff-tier
+//! transitions and escalations through [`crate::metrics_hook`].
+//!
+//! ART has no per-tree configuration, so every site here follows the
+//! process-global policy ([`resilience::global`]).
+
+pub(crate) use resilience::Retry;
+
+/// Charge one retry against the process-global policy: waits one backoff
+/// step (recording tier transitions) and returns `true` exactly once
+/// when the budget is exhausted — the caller then switches to its
+/// guaranteed-progress fallback (pessimistic lock-coupled descent for
+/// reads, `Fallback` de-optimization for jump entries) or, for
+/// structural writers, keeps retrying with parked waits. The escalation
+/// is recorded here.
+#[cold]
+#[inline(never)]
+pub(crate) fn wait_or_escalate(retry: &mut Retry) -> bool {
+    match retry.step_global() {
+        resilience::Step::Escalate => {
+            crate::metrics_hook::escalation();
+            true
+        }
+        resilience::Step::Wait(s) => {
+            if s.transition {
+                crate::metrics_hook::backoff_transition(s.tier);
+            }
+            false
+        }
+    }
+}
+
+/// Backoff-only wait for loops whose progress is already guaranteed by
+/// the current holder (version-lock acquisition): tiers advance and are
+/// recorded, but the wait never escalates.
+#[cold]
+#[inline(never)]
+pub(crate) fn wait(retry: &mut Retry) {
+    let s = retry.wait_global();
+    if s.transition {
+        crate::metrics_hook::backoff_transition(s.tier);
+    }
+}

@@ -24,11 +24,19 @@ impl Art {
     /// Point lookup from the root, also reporting the number of nodes
     /// traversed (the Fig 10(a) "average lookup length" metric).
     pub fn get_with_depth(&self, key: u64) -> (Option<u64>, u32) {
-        let _guard = epoch::pin();
+        let guard = epoch::pin();
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             let root = self.root.load(Ordering::Acquire);
             if let Ok(r) = descend_get(root, key, 0) {
                 return r;
+            }
+            if crate::contention::wait_or_escalate(&mut retry) {
+                // Guaranteed-progress fallback: pessimistic descent.
+                let (leafp, hops) = self.pessimistic_leaf(key, &guard);
+                // SAFETY: pinned epoch (see `Art::get_pessimistic`).
+                let v = leafp.map(|lp| unsafe { node::leaf_ref(lp) }.value.load(Ordering::Acquire));
+                return (v, hops);
             }
         }
     }
@@ -58,7 +66,10 @@ impl Art {
         // read, never a torn traversal.
         crate::chaos_hook::point("jump.get_from.entry");
         let depth = hdr.match_level();
-        // Retry locally on version conflicts; fall back if the node dies.
+        // Retry locally on version conflicts; fall back if the node dies
+        // or the retry budget runs out (the root path has its own
+        // guaranteed-progress escalation).
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             if hdr.version.is_obsolete() {
                 crate::metrics_hook::jump_fallback();
@@ -69,7 +80,12 @@ impl Art {
                     crate::metrics_hook::jump_resume();
                     return FromResult::Done(v, d);
                 }
-                Err(()) => continue,
+                Err(()) => {
+                    if crate::contention::wait_or_escalate(&mut retry) {
+                        crate::metrics_hook::jump_fallback();
+                        return FromResult::Fallback;
+                    }
+                }
             }
         }
     }
@@ -88,6 +104,18 @@ impl Art {
             return FromResult::Fallback;
         }
         let hdr = node::header(start);
+        // Budget the local retries; on exhaustion de-optimize to a root
+        // insert (which carries its own escalation discipline).
+        let mut retry = crate::contention::Retry::seeded(key);
+        macro_rules! retry_or_fallback {
+            () => {{
+                if crate::contention::wait_or_escalate(&mut retry) {
+                    crate::metrics_hook::jump_fallback();
+                    return FromResult::Fallback;
+                }
+                continue;
+            }};
+        }
         loop {
             if hdr.version.is_obsolete() {
                 crate::metrics_hook::jump_fallback();
@@ -118,7 +146,7 @@ impl Art {
                     crate::metrics_hook::jump_fallback();
                     return FromResult::Fallback;
                 }
-                continue;
+                retry_or_fallback!();
             }
             let disc = depth + plen;
             if disc >= 8 {
@@ -129,7 +157,7 @@ impl Art {
             let child = node::find_child(start, b);
             let full = node::is_full(start);
             if !hdr.version.validate(v) {
-                continue;
+                retry_or_fallback!();
             }
             if child == 0 && full {
                 // Expansion at the jump node needs its parent.
@@ -141,7 +169,7 @@ impl Art {
                     crate::metrics_hook::jump_resume();
                     return FromResult::Done(inserted, 0);
                 }
-                Err(()) => continue,
+                Err(()) => retry_or_fallback!(),
             }
         }
     }
@@ -173,7 +201,16 @@ impl Art {
     /// [`Art::try_set_buffer_slot`]; see the module docs.
     pub fn lca_node(&self, k1: u64, k2: u64) -> Option<(NodePtr, usize)> {
         let _guard = epoch::pin();
+        // Restart budget: exhausting it returns `None`, a pure
+        // de-optimization (the caller simply registers no fast pointer
+        // for this model boundary and jumps start from the root).
+        let mut retry = crate::contention::Retry::seeded(k1 ^ k2.rotate_left(32));
+        let mut first = true;
         'restart: loop {
+            if !first && crate::contention::wait_or_escalate(&mut retry) {
+                return None;
+            }
+            first = false;
             let mut p = self.root.load(Ordering::Acquire);
             if p == 0 || node::is_leaf(p) {
                 return None;

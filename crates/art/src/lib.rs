@@ -26,6 +26,7 @@
 
 mod api;
 pub(crate) mod chaos_hook;
+pub(crate) mod contention;
 mod jump;
 pub(crate) mod metrics_hook;
 mod node;

@@ -21,6 +21,18 @@ mod real {
     pub(crate) fn jump_fallback() {
         obs::incr(Counter::ArtJumpFallback);
     }
+    #[inline]
+    pub(crate) fn escalation() {
+        obs::incr(Counter::ArtEscalation);
+    }
+    #[inline]
+    pub(crate) fn backoff_transition(tier: resilience::Tier) {
+        match tier {
+            resilience::Tier::Spin => {}
+            resilience::Tier::Yield => obs::incr(Counter::ArtBackoffYield),
+            resilience::Tier::Park => obs::incr(Counter::ArtBackoffPark),
+        }
+    }
 }
 
 #[cfg(not(feature = "metrics"))]
@@ -32,6 +44,10 @@ mod real {
     pub(crate) fn jump_resume() {}
     #[inline(always)]
     pub(crate) fn jump_fallback() {}
+    #[inline(always)]
+    pub(crate) fn escalation() {}
+    #[inline(always)]
+    pub(crate) fn backoff_transition(_tier: resilience::Tier) {}
 }
 
 pub(crate) use real::*;

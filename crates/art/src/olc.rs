@@ -53,12 +53,14 @@ impl VersionLock {
         Some(v)
     }
 
-    /// Spin until the node is not write-locked, then return the snapshot.
-    /// Returns `None` if the node became obsolete (caller restarts from a
-    /// stable ancestor).
+    /// Wait (tiered backoff) until the node is not write-locked, then
+    /// return the snapshot. Returns `None` if the node became obsolete
+    /// (caller restarts from a stable ancestor). The wait never
+    /// escalates: the current lock holder's progress is the guarantee,
+    /// and past the budget the wait parks instead of burning CPU.
     #[inline]
     pub fn read_lock_spin(&self) -> Option<Version> {
-        let mut spins = 0u32;
+        let mut retry = crate::contention::Retry::new();
         loop {
             let v = self.word.load(Ordering::Acquire);
             if v & OBSOLETE_BIT != 0 {
@@ -68,7 +70,7 @@ impl VersionLock {
                 crate::chaos_hook::point("olc.read_lock_spin");
                 return Some(v);
             }
-            backoff(&mut spins);
+            crate::contention::wait(&mut retry);
         }
     }
 
@@ -102,11 +104,11 @@ impl VersionLock {
             .is_ok()
     }
 
-    /// Acquire the write lock, spinning. Returns `false` if the node is
-    /// obsolete.
+    /// Acquire the write lock, waiting with tiered backoff. Returns
+    /// `false` if the node is obsolete.
     #[inline]
     pub fn lock(&self) -> bool {
-        let mut spins = 0u32;
+        let mut retry = crate::contention::Retry::new();
         loop {
             let v = self.word.load(Ordering::Acquire);
             if v & OBSOLETE_BIT != 0 {
@@ -115,7 +117,7 @@ impl VersionLock {
             if v & LOCK_BIT == 0 && self.upgrade(v) {
                 return true;
             }
-            backoff(&mut spins);
+            crate::contention::wait(&mut retry);
         }
     }
 
@@ -146,18 +148,6 @@ impl VersionLock {
     #[inline]
     pub fn is_obsolete(&self) -> bool {
         self.word.load(Ordering::Acquire) & OBSOLETE_BIT != 0
-    }
-}
-
-/// Bounded spinning: burn a few cycles, then yield the timeslice so a
-/// preempted lock holder can run (essential on oversubscribed hosts).
-#[inline]
-pub(crate) fn backoff(spins: &mut u32) {
-    *spins += 1;
-    if *spins < 64 {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
     }
 }
 

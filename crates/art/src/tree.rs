@@ -149,10 +149,116 @@ impl Art {
     /// Point lookup.
     pub fn get(&self, key: u64) -> Option<u64> {
         let guard = epoch::pin();
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             match self.get_attempt(key, &guard) {
                 Ok(v) => return v,
-                Err(()) => continue,
+                Err(()) => {
+                    if crate::contention::wait_or_escalate(&mut retry) {
+                        return self.get_pessimistic(key, &guard);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Guaranteed-progress lookup: pessimistic lock-coupled descent.
+    fn get_pessimistic(&self, key: u64, guard: &Guard) -> Option<u64> {
+        let leafp = self.pessimistic_leaf(key, guard).0?;
+        // SAFETY: the leaf was reachable under its locked parent; the
+        // epoch pin keeps it alive past a racing removal, like the
+        // optimistic path after validation.
+        Some(
+            unsafe { node::leaf_ref(leafp) }
+                .value
+                .load(Ordering::Acquire),
+        )
+    }
+
+    /// Pessimistic lock-coupled descent to `key`'s leaf: every internal
+    /// node's *write* lock is taken top-down, with the parent's lock held
+    /// until the child's is acquired. No version validation (and hence no
+    /// restart) happens on the path — a child read under its locked
+    /// parent cannot be replaced, because every `replace_child` in this
+    /// crate runs under the parent's write lock.
+    ///
+    /// Deadlock freedom: every *blocking* `lock()` in the tree (the
+    /// couplings here and the sibling lock in `remove_leaf`) targets a
+    /// node strictly below everything its caller already holds, and
+    /// writers take ancestors only through the non-blocking `upgrade`
+    /// CAS (whose failure restarts them, releasing nothing they don't
+    /// own) — so wait-for edges always point down the tree and cannot
+    /// form a cycle.
+    ///
+    /// The restart on an obsolete root is bounded by structural
+    /// progress: it fires only when a committed root replacement landed
+    /// between the root load and the lock acquisition.
+    ///
+    /// Returns the leaf (if found) plus the number of nodes traversed
+    /// (same counting as the optimistic `descend_get` in `jump.rs`).
+    pub(crate) fn pessimistic_leaf(&self, key: u64, _guard: &Guard) -> (Option<NodePtr>, u32) {
+        'restart: loop {
+            let root = self.root.load(Ordering::Acquire);
+            if root == 0 {
+                return (None, 0);
+            }
+            if node::is_leaf(root) {
+                // SAFETY: pinned epoch; leaf keys are immutable.
+                let leaf = unsafe { node::leaf_ref(root) };
+                return (if leaf.key == key { Some(root) } else { None }, 1);
+            }
+            // SAFETY: pinned epoch.
+            let mut hdr = unsafe { node::header(root) };
+            if !hdr.version.lock() {
+                // Root replaced between the load and the lock.
+                continue 'restart;
+            }
+            // A successful lock proves `root` is still linked in place:
+            // replacements hold the victim's lock across publication and
+            // mark it obsolete before unlocking.
+            let mut cur = root;
+            let mut depth = hdr.match_level();
+            let mut hops = 1u32;
+            loop {
+                let (prefix, plen, _) = hdr.prefix();
+                for i in 0..plen {
+                    if depth + i >= 8 || prefix[i] != node::key_byte(key, depth + i) {
+                        hdr.version.unlock();
+                        return (None, hops);
+                    }
+                }
+                depth += plen;
+                if depth >= 8 {
+                    hdr.version.unlock();
+                    return (None, hops);
+                }
+                // SAFETY: `cur` is write-locked and live.
+                let child = unsafe { node::find_child(cur, node::key_byte(key, depth)) };
+                if child == 0 {
+                    hdr.version.unlock();
+                    return (None, hops);
+                }
+                if node::is_leaf(child) {
+                    // SAFETY: read under the parent's write lock.
+                    let leaf = unsafe { node::leaf_ref(child) };
+                    let found = leaf.key == key;
+                    hdr.version.unlock();
+                    return (found.then_some(child), hops + 1);
+                }
+                // Couple: lock the child before releasing the parent.
+                // SAFETY: pinned epoch; child is live under its locked
+                // parent.
+                let chdr = unsafe { node::header(child) };
+                let got = chdr.version.lock();
+                debug_assert!(got, "child under a locked parent cannot be obsolete");
+                hdr.version.unlock();
+                if !got {
+                    continue 'restart;
+                }
+                cur = child;
+                hdr = chdr;
+                depth += 1;
+                hops += 1;
             }
         }
     }
@@ -239,6 +345,7 @@ impl Art {
     /// Update an existing key in place. Returns `false` if absent.
     pub fn update(&self, key: u64, value: u64) -> bool {
         let guard = epoch::pin();
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             match self.get_leaf_attempt(key, &guard) {
                 Ok(Some(leafp)) => {
@@ -249,7 +356,23 @@ impl Art {
                     return true;
                 }
                 Ok(None) => return false,
-                Err(()) => continue,
+                Err(()) => {
+                    if crate::contention::wait_or_escalate(&mut retry) {
+                        // Pessimistic path; the store after the locks are
+                        // released linearizes exactly like the optimistic
+                        // store after validation.
+                        return match self.pessimistic_leaf(key, &guard).0 {
+                            Some(leafp) => {
+                                // SAFETY: pinned epoch (see above).
+                                unsafe { node::leaf_ref(leafp) }
+                                    .value
+                                    .store(value, Ordering::Release);
+                                true
+                            }
+                            None => false,
+                        };
+                    }
+                }
             }
         }
     }
@@ -311,10 +434,18 @@ impl Art {
 
     fn insert_inner(&self, key: u64, value: u64, overwrite: bool) -> bool {
         let guard = epoch::pin();
+        // Structural writers have no pessimistic fallback: every restart
+        // implies a *committed* conflicting write, so the retry loop
+        // terminates with probability 1 under any finite write rate. Past
+        // the budget the escalation is recorded once and further waits
+        // park instead of burning CPU.
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             match self.insert_attempt(key, value, overwrite, &guard) {
                 Ok(inserted) => return inserted,
-                Err(()) => continue,
+                Err(()) => {
+                    let _ = crate::contention::wait_or_escalate(&mut retry);
+                }
             }
         }
     }
@@ -756,10 +887,16 @@ impl Art {
     /// Remove a key, returning its value if present.
     pub fn remove(&self, key: u64) -> Option<u64> {
         let guard = epoch::pin();
+        // Structural writer: same no-fallback discipline as
+        // `insert_inner` — escalation is recorded once, then parked
+        // retries (each restart implies a committed conflicting write).
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             match self.remove_attempt(key, &guard) {
                 Ok(r) => return r,
-                Err(()) => continue,
+                Err(()) => {
+                    let _ = crate::contention::wait_or_escalate(&mut retry);
+                }
             }
         }
     }

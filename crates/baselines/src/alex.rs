@@ -380,6 +380,29 @@ impl AlexLike {
         }
     }
 
+    /// Guaranteed-progress lookup: read under the node's write lock.
+    /// Waiting on the lock is bounded by the holder's progress, and each
+    /// retired re-check retry implies a committed split — so this loop
+    /// terminates under any finite split rate (and splits on a node are
+    /// themselves bounded by its key count).
+    fn get_locked(&self, key: Key) -> Option<Value> {
+        let guard = epoch::pin();
+        loop {
+            let dir = self.dir.load(&guard);
+            let node = &dir.nodes[dir.locate(key)];
+            node.lock.write_lock();
+            if node.retired.load(Ordering::Acquire) {
+                node.lock.write_unlock();
+                continue;
+            }
+            let res = node
+                .find_slot(key)
+                .map(|i| node.vals[i].load(Ordering::Acquire));
+            node.lock.write_unlock();
+            return res;
+        }
+    }
+
     /// Split `mi` into two nodes (called without locks held). With
     /// `require_full`, skips unless the node is at the fill threshold
     /// (the fullness-triggered path); without it, splits regardless (the
@@ -441,6 +464,7 @@ impl ConcurrentIndex for AlexLike {
             return None;
         }
         let guard = epoch::pin();
+        let mut retry = crate::contention::Retry::seeded(key);
         loop {
             let dir = self.dir.load(&guard);
             let node = &dir.nodes[dir.locate(key)];
@@ -450,9 +474,17 @@ impl ConcurrentIndex for AlexLike {
                 .map(|i| node.vals[i].load(Ordering::Acquire));
             if node.lock.read_validate(v) {
                 if node.retired.load(Ordering::Acquire) {
+                    // Retired ⇒ a split committed; the reload is bounded
+                    // by split progress, but charge the budget anyway.
+                    if crate::contention::wait_or_escalate(&mut retry) {
+                        return self.get_locked(key);
+                    }
                     continue;
                 }
                 return res;
+            }
+            if crate::contention::wait_or_escalate(&mut retry) {
+                return self.get_locked(key);
             }
         }
     }

@@ -1,0 +1,44 @@
+//! Glue between this crate's optimistic retry loops and the shared
+//! [`resilience`] layer — the same pattern as the `contention` modules
+//! in `alt-index` and `art`: every unbounded loop carries a stack-local
+//! [`resilience::Retry`], and these helpers record backoff-tier
+//! transitions and escalations through [`crate::metrics_hook`].
+//!
+//! The baselines have no per-index configuration, so every site follows
+//! the process-global policy ([`resilience::global`]).
+
+pub(crate) use resilience::Retry;
+
+/// Charge one retry against the process-global policy: waits one backoff
+/// step (recording tier transitions) and returns `true` exactly once
+/// when the budget is exhausted — the caller then switches to its
+/// guaranteed-progress fallback (a write-locked read). The escalation is
+/// recorded here.
+#[cold]
+#[inline(never)]
+pub(crate) fn wait_or_escalate(retry: &mut Retry) -> bool {
+    match retry.step_global() {
+        resilience::Step::Escalate => {
+            crate::metrics_hook::escalation();
+            true
+        }
+        resilience::Step::Wait(s) => {
+            if s.transition {
+                crate::metrics_hook::backoff_transition(s.tier);
+            }
+            false
+        }
+    }
+}
+
+/// Backoff-only wait for loops whose progress is already guaranteed by
+/// the current holder (seqlock acquisition / writer drain): tiers
+/// advance and are recorded, but the wait never escalates.
+#[cold]
+#[inline(never)]
+pub(crate) fn wait(retry: &mut Retry) {
+    let s = retry.wait_global();
+    if s.transition {
+        crate::metrics_hook::backoff_transition(s.tier);
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod alex;
 pub(crate) mod chaos_hook;
+pub(crate) mod contention;
 pub mod finedex;
 pub mod lipp;
 pub(crate) mod metrics_hook;

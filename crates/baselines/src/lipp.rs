@@ -183,8 +183,35 @@ impl ConcurrentIndex for LippLike {
             return None;
         }
         let mut node = &self.root;
+        let mut retry = crate::contention::Retry::seeded(key);
+        let mut escalated = false;
         loop {
             let slot = node.predict(key);
+            if escalated {
+                // Guaranteed-progress descent: read each node under its
+                // write lock. The structure below a node only ever gains
+                // children (slots never revert), so the descent is finite
+                // and each hop makes definitive progress.
+                node.lock.write_lock();
+                match node.tags[slot].load(Ordering::Relaxed) {
+                    TAG_EMPTY => {
+                        node.lock.write_unlock();
+                        return None;
+                    }
+                    TAG_DATA => {
+                        let k = node.keys[slot].load(Ordering::Relaxed);
+                        let val = node.vals[slot].load(Ordering::Relaxed);
+                        node.lock.write_unlock();
+                        return if k == key { Some(val) } else { None };
+                    }
+                    _ => {
+                        let c = node.children[slot].get().expect("child tag implies child");
+                        node.lock.write_unlock();
+                        node = c;
+                    }
+                }
+                continue;
+            }
             let v = node.lock.read_begin();
             let tag = node.tags[slot].load(Ordering::Acquire);
             match tag {
@@ -209,7 +236,9 @@ impl ConcurrentIndex for LippLike {
                     }
                 }
             }
-            // validation failed: retry the same node
+            // Validation failed: retry the same node, escalating to the
+            // write-locked descent once the budget runs out.
+            escalated = crate::contention::wait_or_escalate(&mut retry);
         }
     }
 

@@ -18,6 +18,18 @@ mod real {
     pub(crate) fn rcu_replace() {
         obs::incr(Counter::RcuReplace);
     }
+    #[inline]
+    pub(crate) fn escalation() {
+        obs::incr(Counter::BaselineEscalation);
+    }
+    #[inline]
+    pub(crate) fn backoff_transition(tier: resilience::Tier) {
+        match tier {
+            resilience::Tier::Spin => {}
+            resilience::Tier::Yield => obs::incr(Counter::BaselineBackoffYield),
+            resilience::Tier::Park => obs::incr(Counter::BaselineBackoffPark),
+        }
+    }
 }
 
 #[cfg(not(feature = "metrics"))]
@@ -27,6 +39,10 @@ mod real {
     pub(crate) fn seqlock_read_retry() {}
     #[inline(always)]
     pub(crate) fn rcu_replace() {}
+    #[inline(always)]
+    pub(crate) fn escalation() {}
+    #[inline(always)]
+    pub(crate) fn backoff_transition(_tier: resilience::Tier) {}
 }
 
 pub(crate) use real::*;

@@ -4,17 +4,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Bounded spinning with a yield fallback for oversubscribed hosts.
-#[inline]
-fn backoff(spins: &mut u32) {
-    *spins += 1;
-    if *spins < 64 {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
-    }
-}
-
 /// Even = stable, odd = writer in progress.
 #[derive(Debug, Default)]
 pub struct SeqLock {
@@ -27,10 +16,13 @@ impl SeqLock {
         Self::default()
     }
 
-    /// Snapshot for an optimistic read; spins while a writer is active.
+    /// Snapshot for an optimistic read; waits (tiered backoff) while a
+    /// writer is active. The wait never escalates — the writer holding
+    /// the odd version is guaranteed to finish — and parks past the
+    /// budget instead of burning CPU.
     #[inline]
     pub fn read_begin(&self) -> u64 {
-        let mut spins = 0u32;
+        let mut retry = crate::contention::Retry::new();
         loop {
             let v = self.v.load(Ordering::Acquire);
             if v & 1 == 0 {
@@ -38,7 +30,7 @@ impl SeqLock {
                 return v;
             }
             crate::metrics_hook::seqlock_read_retry();
-            backoff(&mut spins);
+            crate::contention::wait(&mut retry);
         }
     }
 
@@ -53,10 +45,10 @@ impl SeqLock {
         ok
     }
 
-    /// Acquire the write side (spin).
+    /// Acquire the write side (tiered backoff while contended).
     #[inline]
     pub fn write_lock(&self) {
-        let mut spins = 0u32;
+        let mut retry = crate::contention::Retry::new();
         loop {
             let v = self.v.load(Ordering::Relaxed);
             if v & 1 == 0
@@ -70,7 +62,7 @@ impl SeqLock {
                 crate::chaos_hook::point("seqlock.write_lock.held");
                 return;
             }
-            backoff(&mut spins);
+            crate::contention::wait(&mut retry);
         }
     }
 

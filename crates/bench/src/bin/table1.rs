@@ -13,6 +13,7 @@ use workloads::{run_workload, DriverConfig, Mix};
 
 fn main() {
     let args = Args::parse();
+    let _chaos = bench::chaos::install_if_requested(&args);
     banner(
         "table1",
         &format!(

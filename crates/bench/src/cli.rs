@@ -26,6 +26,9 @@ pub struct Args {
     /// Append hot-path metrics counters to the report (needs the crate's
     /// `metrics` feature; see [`crate::metrics`]).
     pub metrics: bool,
+    /// Install a schedule-perturbing chaos run with this seed (needs the
+    /// crate's `chaos` feature; see [`crate::chaos`]).
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for Args {
@@ -40,6 +43,7 @@ impl Default for Args {
             seed: 42,
             indexes: Vec::new(),
             metrics: false,
+            chaos_seed: None,
         }
     }
 }
@@ -83,11 +87,12 @@ impl Args {
                     out.indexes = val().split(',').map(|s| s.to_string()).collect();
                 }
                 "--metrics" => out.metrics = true,
+                "--chaos-seed" => out.chaos_seed = Some(val().parse().expect("--chaos-seed")),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --keys N --threads N --ops N --datasets a,b \
                          --part a|b|c|d|e --theta F --seed N --indexes x,y \
-                         --metrics"
+                         --metrics --chaos-seed N"
                     );
                     std::process::exit(0);
                 }

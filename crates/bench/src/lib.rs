@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cli;
 pub mod indexes;
 pub mod metrics;

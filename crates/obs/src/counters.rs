@@ -80,11 +80,38 @@ pub enum Counter {
     SeqlockReadRetry,
     /// Baseline RCU snapshot replacements published.
     RcuReplace,
+    /// ALT-index retry budgets exhausted: an optimistic point op, scan,
+    /// or fast-pointer registration escalated to its pessimistic
+    /// fallback (locked read, `dir_lock` scan pass, or `NO_FAST`
+    /// de-optimization).
+    AltEscalation,
+    /// ALT-index backoff entering the Yield tier (first yield of a
+    /// contended retry loop).
+    AltBackoffYield,
+    /// ALT-index backoff entering the Park tier (retry loop began
+    /// sleeping instead of burning CPU).
+    AltBackoffPark,
+    /// ART retry budgets exhausted: a lookup switched to the pessimistic
+    /// lock-coupled descent, a jump-path entry de-optimized to the root,
+    /// or a structural writer passed its budget and kept (parked)
+    /// retrying.
+    ArtEscalation,
+    /// ART backoff entering the Yield tier.
+    ArtBackoffYield,
+    /// ART backoff entering the Park tier.
+    ArtBackoffPark,
+    /// Baseline retry budgets exhausted: a seqlock reader took the node
+    /// write lock for a guaranteed read.
+    BaselineEscalation,
+    /// Baseline backoff entering the Yield tier.
+    BaselineBackoffYield,
+    /// Baseline backoff entering the Park tier.
+    BaselineBackoffPark,
 }
 
 impl Counter {
     /// All counters, in rendering order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 26] = [
         Counter::SlotReadRetry,
         Counter::SlotLockRetry,
         Counter::FastPtrJumpHit,
@@ -102,6 +129,15 @@ impl Counter {
         Counter::ArtJumpFallback,
         Counter::SeqlockReadRetry,
         Counter::RcuReplace,
+        Counter::AltEscalation,
+        Counter::AltBackoffYield,
+        Counter::AltBackoffPark,
+        Counter::ArtEscalation,
+        Counter::ArtBackoffYield,
+        Counter::ArtBackoffPark,
+        Counter::BaselineEscalation,
+        Counter::BaselineBackoffYield,
+        Counter::BaselineBackoffPark,
     ];
 
     /// Stable dotted `layer.event` name used in reports and bench JSON.
@@ -124,6 +160,15 @@ impl Counter {
             Counter::ArtJumpFallback => "art.jump_fallback",
             Counter::SeqlockReadRetry => "baseline.seqlock_read_retry",
             Counter::RcuReplace => "baseline.rcu_replace",
+            Counter::AltEscalation => "alt.escalation",
+            Counter::AltBackoffYield => "alt.backoff_yield",
+            Counter::AltBackoffPark => "alt.backoff_park",
+            Counter::ArtEscalation => "art.escalation",
+            Counter::ArtBackoffYield => "art.backoff_yield",
+            Counter::ArtBackoffPark => "art.backoff_park",
+            Counter::BaselineEscalation => "baseline.escalation",
+            Counter::BaselineBackoffYield => "baseline.backoff_yield",
+            Counter::BaselineBackoffPark => "baseline.backoff_park",
         }
     }
 }

@@ -1,0 +1,150 @@
+//! Property tests for the contention-resilience primitives (satellite of
+//! the resilience PR): tier transitions are monotone and deterministic
+//! for a fixed seed, and an exhausted budget reports escalation exactly
+//! once.
+//!
+//! Park sleeps are kept at 0ns in every generated policy so the tests
+//! exercise the state machine, not the wall clock.
+
+use proptest::prelude::*;
+use resilience::{Backoff, ContentionPolicy, Retry, RetryBudget, Step, Tier};
+
+fn policy(spin: u32, yld: u32, park: u32, escalate: bool) -> ContentionPolicy {
+    ContentionPolicy {
+        spin_retries: spin,
+        yield_retries: yld,
+        park_retries: park,
+        park_ns_base: 0,
+        park_ns_max: 0,
+        escalate,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tiers only ever move forward: Spin -> Yield -> Park, never back.
+    #[test]
+    fn tier_transitions_are_monotone(
+        spin in 0u32..16,
+        yld in 0u32..16,
+        park in 0u32..16,
+        seed in any::<u64>(),
+        extra in 1u32..8,
+    ) {
+        let pol = policy(spin, yld, park, true);
+        let mut b = Backoff::seeded(seed);
+        let mut last = Tier::Spin;
+        for _ in 0..pol.total_retries() + extra {
+            let s = b.wait(&pol);
+            prop_assert!(s.tier >= last, "tier regressed: {:?} after {:?}", s.tier, last);
+            last = s.tier;
+        }
+        // Past the budget the backoff stays parked (or in the last
+        // non-empty tier when the park tier is the active tail).
+        prop_assert_eq!(last, pol.tier_for(u32::MAX));
+    }
+
+    /// Each tier announces its first step exactly once, in tier order.
+    #[test]
+    fn transitions_fire_once_per_visited_tier(
+        spin in 0u32..8,
+        yld in 0u32..8,
+        park in 0u32..8,
+        seed in any::<u64>(),
+    ) {
+        let pol = policy(spin, yld, park, true);
+        let mut b = Backoff::seeded(seed);
+        let mut announced = Vec::new();
+        for _ in 0..pol.total_retries() + 4 {
+            let s = b.wait(&pol);
+            if s.transition {
+                prop_assert!(
+                    !announced.contains(&s.tier),
+                    "tier {:?} announced twice", s.tier
+                );
+                announced.push(s.tier);
+            }
+        }
+        // Announced tiers appear in escalation order.
+        let mut sorted = announced.clone();
+        sorted.sort();
+        prop_assert_eq!(&announced, &sorted);
+        // The final tier (always reached: attempts exceed the budget)
+        // must have been announced.
+        prop_assert!(announced.contains(&pol.tier_for(u32::MAX)));
+    }
+
+    /// The full wait sequence (tier, transition, park duration) is a
+    /// pure function of the construction seed.
+    #[test]
+    fn wait_sequence_is_deterministic_for_fixed_seed(
+        spin in 0u32..8,
+        yld in 0u32..8,
+        park in 1u32..8,
+        seed in any::<u64>(),
+        base in 0u64..64,
+    ) {
+        let pol = ContentionPolicy {
+            spin_retries: spin,
+            yield_retries: yld,
+            park_retries: park,
+            // Nanosecond-scale parks: visible in `park_ns`, harmless to
+            // actually sleep.
+            park_ns_base: base % 4,
+            park_ns_max: base,
+            escalate: true,
+        };
+        let run = |seed: u64| {
+            let mut b = Backoff::seeded(seed);
+            (0..pol.total_retries() + 4).map(|_| b.wait(&pol)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// An exhausted budget escalates exactly once, and only when the
+    /// policy allows escalation at all.
+    #[test]
+    fn exhausted_budget_escalates_exactly_once(
+        spin in 0u32..8,
+        yld in 0u32..8,
+        park in 0u32..8,
+        escalate in any::<bool>(),
+        overshoot in 1u32..32,
+    ) {
+        let pol = policy(spin, yld, park, escalate);
+        let mut budget = RetryBudget::new();
+        let mut escalations = 0u32;
+        for _ in 0..pol.total_retries() + overshoot {
+            budget.charge();
+            if budget.should_escalate(&pol) {
+                escalations += 1;
+            }
+        }
+        prop_assert_eq!(escalations, u32::from(escalate));
+    }
+
+    /// The combined `Retry` driver waits through the whole budget, then
+    /// escalates once, then parks forever.
+    #[test]
+    fn retry_driver_waits_budget_then_escalates_once(
+        spin in 0u32..8,
+        yld in 0u32..8,
+        park in 0u32..8,
+        seed in any::<u64>(),
+        tail in 1u32..16,
+    ) {
+        let pol = policy(spin, yld, park, true);
+        let mut r = Retry::seeded(seed);
+        let mut waits = 0u32;
+        let mut escalations = 0u32;
+        for _ in 0..pol.total_retries() + 1 + tail {
+            match r.step(&pol) {
+                Step::Wait(_) => waits += 1,
+                Step::Escalate => escalations += 1,
+            }
+        }
+        prop_assert_eq!(escalations, 1);
+        prop_assert_eq!(waits, pol.total_retries() + tail);
+    }
+}
