@@ -50,6 +50,16 @@ impl BulkLoad for AltIndex {
     fn bulk_load(pairs: &[(Key, Value)]) -> Self {
         AltIndex::bulk_load_default(pairs)
     }
+
+    fn bulk_load_threaded(pairs: &[(Key, Value)], threads: usize) -> Self {
+        AltIndex::bulk_load_with(
+            pairs,
+            crate::config::AltConfig {
+                build_threads: threads.max(1),
+                ..Default::default()
+            },
+        )
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,15 @@ pub struct AltConfig {
     /// Enable opportunistic write-back of ART entries into tombstoned GPL
     /// slots during reads (Algorithm 2 lines 10-13).
     pub write_back: bool,
+    /// Worker threads for bulk-load construction: chunked GPL
+    /// segmentation with a deterministic seam stitch, per-thread model
+    /// population (per-model ownership, no locking), and parallel conflict
+    /// insertion into ART plus fast-pointer registration. `1` runs the
+    /// serial build path bit-for-bit; any other value produces an
+    /// observably identical index (the build-equivalence suite's
+    /// contract). Defaults to the host's available parallelism. Only
+    /// affects construction — never steady-state operations or retrains.
+    pub build_threads: usize,
     /// Backoff tiers and retry budget for this index's operation-level
     /// optimistic loops (get/insert/update/remove/scan — the loops with
     /// a pessimistic escalation). Defaults to the process-global policy
@@ -52,9 +61,19 @@ impl Default for AltConfig {
             fast_pointers: true,
             retrain: true,
             write_back: true,
+            build_threads: default_build_threads(),
             contention: resilience::global(),
         }
     }
+}
+
+/// Default worker-thread count for bulk-load construction: everything
+/// the host offers (the bench harness's `--build-threads` flag narrows
+/// this per run).
+pub fn default_build_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -66,6 +85,13 @@ mod tests {
         let c = AltConfig::default();
         assert_eq!(c.effective_epsilon(2_000_000), 2_000.0);
         assert_eq!(c.effective_epsilon(100), AltConfig::MIN_EPSILON, "clamped");
+    }
+
+    #[test]
+    fn build_threads_defaults_to_available_parallelism() {
+        let c = AltConfig::default();
+        assert_eq!(c.build_threads, default_build_threads());
+        assert!(c.build_threads >= 1);
     }
 
     #[test]

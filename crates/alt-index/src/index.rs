@@ -15,7 +15,7 @@ use crate::slots::{ClaimResult, SlotState};
 use art::{Art, FromResult};
 use crossbeam_epoch::{self as epoch, Atomic, Guard};
 use index_api::{IndexError, Result};
-use learned::gpl::gpl_segment;
+use learned::gpl::{gpl_segment, gpl_segment_parallel, Segment};
 use learned::LinearModel;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,14 +58,35 @@ impl AltIndex {
     /// Build over sorted, unique pairs (no key 0) with explicit
     /// configuration.
     pub fn bulk_load_with(pairs: &[(u64, u64)], cfg: AltConfig) -> Self {
-        debug_assert!(index_api::validate_bulk_input(pairs).is_ok());
+        index_api::debug_validate_bulk_input(pairs);
         let epsilon = cfg.effective_epsilon(pairs.len());
         let buffer = Arc::new(FastPointerBuffer::new());
         let art = Arc::new(Art::with_hook(Arc::new(BufferHook(Arc::clone(&buffer)))));
 
-        let (models, conflicts) = segment_and_build(pairs, epsilon, cfg.gap_factor, 0, None);
-        for &(k, v) in &conflicts {
-            art.insert(k, v);
+        let threads = cfg.build_threads.max(1);
+        let (models, conflicts) =
+            segment_and_build_parallel(pairs, epsilon, cfg.gap_factor, threads);
+        // Conflict eviction into ART. The tree's structure for a fixed key
+        // set is insertion-order independent (radix paths + node sizes
+        // come from the key bytes alone), so sharded concurrent inserts
+        // produce the same tree the serial loop would.
+        if threads > 1 && conflicts.len() >= PARALLEL_BUILD_MIN {
+            let shard = conflicts.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for chunk in conflicts.chunks(shard) {
+                    let art = &art;
+                    s.spawn(move || {
+                        crate::chaos_hook::point("bulk.par.art");
+                        for &(k, v) in chunk {
+                            art.insert(k, v);
+                        }
+                    });
+                }
+            });
+        } else {
+            for &(k, v) in &conflicts {
+                art.insert(k, v);
+            }
         }
         let dir = ModelDir::new(models);
         let idx = Self {
@@ -80,7 +101,7 @@ impl AltIndex {
             retrain_attempts: AtomicUsize::new(0),
             dir_epoch: AtomicUsize::new(0),
         };
-        idx.register_all_fast_pointers();
+        idx.register_all_fast_pointers(threads);
         idx
     }
 
@@ -122,15 +143,48 @@ impl AltIndex {
     }
 
     /// (Re-)register fast pointers for every model in the current
-    /// directory (bulk-load construction step §III-C ①-③).
-    fn register_all_fast_pointers(&self) {
+    /// directory (bulk-load construction step §III-C ①-③), sharding the
+    /// model range across up to `threads` workers.
+    ///
+    /// Safe to parallelize: each model's `fast_slot` is owned by exactly
+    /// one worker (contiguous index ranges), `FastPointerBuffer::register`
+    /// is already thread-safe (append spin lock + merge scheme), and the
+    /// registered *targets* (each model interval's LCA node) depend only
+    /// on the tree, not on registration order — so a parallel build's
+    /// jump behaviour is identical to a serial one's even though buffer
+    /// slot indices may come out permuted.
+    fn register_all_fast_pointers(&self, threads: usize) {
         if !self.cfg.fast_pointers {
             return;
         }
         let guard = epoch::pin();
         let dir = self.dir_ref(&guard);
-        for (i, m) in dir.models.iter().enumerate() {
-            let slot = match dir.upper_bound(i) {
+        let n = dir.models.len();
+        let shard = n.div_ceil(threads.max(1));
+        if threads <= 1 || n < PARALLEL_BUILD_MIN {
+            self.register_fast_pointer_range(dir, 0, n);
+            return;
+        }
+        std::thread::scope(|s| {
+            let mut start = 0;
+            while start < n {
+                let end = (start + shard).min(n);
+                s.spawn(move || {
+                    crate::chaos_hook::point("bulk.par.fastptr");
+                    // Re-pin per worker (epoch guards are thread-local);
+                    // the directory cannot be swapped during construction.
+                    let guard = epoch::pin();
+                    let dir = self.dir_ref(&guard);
+                    self.register_fast_pointer_range(dir, start, end);
+                });
+                start = end;
+            }
+        });
+    }
+
+    fn register_fast_pointer_range(&self, dir: &ModelDir, start: usize, end: usize) {
+        for (i, m) in dir.models[start..end].iter().enumerate() {
+            let slot = match dir.upper_bound(start + i) {
                 Some(next_first) => self.buffer.register(&self.art, m.first_key, next_first),
                 None => NO_FAST,
             };
@@ -678,6 +732,96 @@ impl Drop for AltIndex {
             }
         }
     }
+}
+
+/// Minimum work-item count (keys, conflicts, or models) below which the
+/// bulk-load pipeline stays serial: thread spawn/join costs more than the
+/// work it would split.
+pub(crate) const PARALLEL_BUILD_MIN: usize = 1024;
+
+/// One build worker's output: its group's models plus their conflicts.
+type BuiltGroup = (Vec<GplModel>, Vec<(u64, u64)>);
+
+/// Parallel variant of [`segment_and_build`] used only by bulk load
+/// (retrain keeps the serial path — its spans are small and it runs under
+/// `dir_lock`). Produces models and conflicts *identical* to the serial
+/// builder for any `threads`:
+///
+/// * segmentation goes through [`gpl_segment_parallel`], which is
+///   bit-equal to [`gpl_segment`] by construction (seam stitch);
+/// * the segment list is then split into contiguous groups balanced by
+///   key count, and each group's models are built by one worker. A model
+///   is private to its worker until the join (`place_unsync` is exactly
+///   the thread-private placement the serial path uses), and group
+///   results are concatenated in order, so model order — and therefore
+///   conflict order, which feeds sorted ART bulk insertion — is
+///   unchanged.
+pub(crate) fn segment_and_build_parallel(
+    pairs: &[(u64, u64)],
+    epsilon: f64,
+    gap_factor: f64,
+    threads: usize,
+) -> (Vec<Arc<GplModel>>, Vec<(u64, u64)>) {
+    if threads <= 1 || pairs.len() < PARALLEL_BUILD_MIN {
+        return segment_and_build(pairs, epsilon, gap_factor, 0, None);
+    }
+    let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    let segments = gpl_segment_parallel(&keys, epsilon, threads);
+    let groups = partition_segments(&segments, threads, pairs.len());
+    let built: Vec<BuiltGroup> = std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let segments = &segments;
+                s.spawn(move || {
+                    crate::chaos_hook::point("bulk.par.models");
+                    let mut models = Vec::with_capacity(group.len());
+                    let mut conflicts = Vec::new();
+                    for seg in &segments[group] {
+                        let slice = &pairs[seg.start..seg.start + seg.len];
+                        let (m, mut c) = build_model(slice, seg.model, gap_factor, 0);
+                        models.push(m);
+                        conflicts.append(&mut c);
+                    }
+                    (models, conflicts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut models = Vec::with_capacity(segments.len());
+    let mut conflicts = Vec::new();
+    for (ms, mut cs) in built {
+        models.extend(ms.into_iter().map(Arc::new));
+        conflicts.append(&mut cs);
+    }
+    (models, conflicts)
+}
+
+/// Split `segments` into at most `groups` contiguous index ranges of
+/// roughly `total_keys / groups` keys each (models vary wildly in span,
+/// so balancing by segment *count* would skew the build).
+fn partition_segments(
+    segments: &[Segment],
+    groups: usize,
+    total_keys: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let target = total_keys.div_ceil(groups).max(1);
+    let mut out = Vec::with_capacity(groups);
+    let mut start = 0;
+    let mut acc = 0;
+    for (i, s) in segments.iter().enumerate() {
+        acc += s.len;
+        if acc >= target {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < segments.len() {
+        out.push(start..segments.len());
+    }
+    out
 }
 
 /// GPL-segment `pairs` and build one gapped model per segment. Returns

@@ -56,6 +56,6 @@ pub mod slots;
 pub mod spin;
 pub mod stats;
 
-pub use config::AltConfig;
+pub use config::{default_build_threads, AltConfig};
 pub use index::AltIndex;
 pub use stats::{AltStats, ArtProbe};

@@ -83,6 +83,49 @@ impl AltIndex {
         }
     }
 
+    /// Directory layout snapshot: `(first_key, slot_capacity, build_size)`
+    /// per model, in directory order. Two indexes with equal spans have
+    /// byte-equal learned-layer *shapes*; the build-equivalence suite pairs
+    /// this with [`AltIndex::learned_layout_digest`] (placement equality)
+    /// to pin the serial-vs-parallel build contract.
+    pub fn directory_spans(&self) -> Vec<(u64, usize, usize)> {
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        dir.models
+            .iter()
+            .map(|m| (m.first_key, m.slots.capacity(), m.build_size))
+            .collect()
+    }
+
+    /// FNV-1a digest of the learned layer's physical layout: every model's
+    /// span followed by every live slot's `(slot, key, value)`. Two builds
+    /// with equal digests placed every slot-resident key identically.
+    /// Quiescent-state helper (walks slots unversioned) for the
+    /// build-equivalence suite — not meaningful under concurrent writes.
+    pub fn learned_layout_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        for m in &dir.models {
+            mix(m.first_key);
+            mix(m.slots.capacity() as u64);
+            m.slots.for_each_live(|slot, k, v| {
+                mix(slot as u64);
+                mix(k);
+                mix(v);
+            });
+        }
+        h
+    }
+
     /// For a key resident in the ART layer, measure the lookup length with
     /// and without the fast-pointer shortcut. Returns `None` if the key is
     /// not an ART resident (slot hit or absent).

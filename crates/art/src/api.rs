@@ -55,10 +55,36 @@ impl ConcurrentIndex for Art {
 
 impl BulkLoad for Art {
     fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        index_api::debug_validate_bulk_input(pairs);
         let t = Art::new();
         for &(k, v) in pairs {
             t.insert(k, v);
         }
+        t
+    }
+
+    /// Parallel bulk load: shard the sorted input and insert concurrently.
+    /// ART's structure for a fixed key set is insertion-order independent
+    /// (radix paths and node sizes come from the key bytes alone), so the
+    /// resulting tree is identical to the serial build's.
+    fn bulk_load_threaded(pairs: &[(Key, Value)], threads: usize) -> Self {
+        index_api::debug_validate_bulk_input(pairs);
+        let threads = threads.max(1);
+        if threads == 1 || pairs.len() < 1024 {
+            return Self::bulk_load(pairs);
+        }
+        let t = Art::new();
+        let shard = pairs.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for chunk in pairs.chunks(shard) {
+                let t = &t;
+                s.spawn(move || {
+                    for &(k, v) in chunk {
+                        t.insert(k, v);
+                    }
+                });
+            }
+        });
         t
     }
 }

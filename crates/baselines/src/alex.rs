@@ -667,6 +667,7 @@ impl AlexLike {
 
 impl BulkLoad for AlexLike {
     fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        index_api::debug_validate_bulk_input(pairs);
         Self::build(pairs)
     }
 }

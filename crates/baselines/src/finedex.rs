@@ -377,6 +377,7 @@ impl FinedexLike {
 
 impl BulkLoad for FinedexLike {
     fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        index_api::debug_validate_bulk_input(pairs);
         Self::build(pairs)
     }
 }

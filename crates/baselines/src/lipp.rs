@@ -401,6 +401,7 @@ impl ConcurrentIndex for LippLike {
 
 impl BulkLoad for LippLike {
     fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        index_api::debug_validate_bulk_input(pairs);
         Self::build(pairs)
     }
 }

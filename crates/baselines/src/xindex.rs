@@ -489,6 +489,7 @@ impl XIndexLike {
 
 impl BulkLoad for XIndexLike {
     fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        index_api::debug_validate_bulk_input(pairs);
         Self::build(pairs)
     }
 }

@@ -1,0 +1,84 @@
+//! **bulk_build**: construction time and throughput across build thread
+//! counts — the build-cost axis ("Benchmarking Learned Indexes" treats
+//! build time as first-class; the paper's 200M-key runs are dominated by
+//! it). Sweeps `--build-threads` (default: serial plus the host's
+//! available parallelism) over every selected index and dataset, timing
+//! `IndexKind::build_threaded` on the full generated key array.
+//!
+//! Rows report `build_ms` (best of `REPS` builds) with `Mops/s` as build
+//! throughput (keys/s); when the sweep includes the serial baseline, a
+//! `speedup_vs_serial` row is emitted per (index, dataset, threads)
+//! point — `scripts/run_all_experiments.sh` collects the `#json` lines
+//! into `results/BENCH_bulk_build.json`.
+//!
+//! Parallel builds are observably identical to serial ones by
+//! construction (see `crates/alt-index/tests/build_equivalence.rs`), so
+//! the sweep measures pure construction cost, not differing indexes; a
+//! spot-check of lookups after each timed build guards the claim here.
+
+use bench::report::{banner, Row};
+use bench::Args;
+use bench::IndexKind;
+use datasets::generate_pairs;
+use std::time::Instant;
+
+/// Builds per (index, dataset, threads) point; best time wins (the
+/// usual cold-allocator smoothing, matching the other bins' style).
+const REPS: usize = 2;
+
+fn main() {
+    let args = Args::parse();
+    let sweep = args.build_threads_sweep();
+    banner(
+        "bulk_build",
+        &format!(
+            "keys={}, build-threads sweep {:?}, seed={}",
+            args.keys, sweep, args.seed
+        ),
+    );
+    for ds in &args.datasets {
+        let pairs = generate_pairs(*ds, args.keys, args.seed);
+        for kind in IndexKind::COMPETITORS {
+            if !args.wants_index(kind.name()) {
+                continue;
+            }
+            let mut serial_ms: Option<f64> = None;
+            for &t in &sweep {
+                let mut best = f64::INFINITY;
+                for _ in 0..REPS {
+                    let start = Instant::now();
+                    let idx = kind.build_threaded(&pairs, t);
+                    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                    best = best.min(elapsed);
+                    // Keep the build honest: a broken parallel path must
+                    // fail loudly, not clock a great time.
+                    for &(k, v) in pairs.iter().step_by((pairs.len() / 64).max(1)) {
+                        assert_eq!(idx.get(k), Some(v), "{} lost key {k}", kind.name());
+                    }
+                    assert_eq!(idx.len(), pairs.len(), "{} len", kind.name());
+                    drop(idx);
+                }
+                if t == 1 {
+                    serial_ms = Some(best);
+                }
+                Row::new("bulk_build")
+                    .index(kind.name())
+                    .dataset(ds.name())
+                    .workload("bulk-load")
+                    .x(t as f64)
+                    .mops(args.keys as f64 / (best * 1e-3) / 1e6)
+                    .value("build_ms", best)
+                    .emit();
+                if let (Some(serial), true) = (serial_ms, t != 1) {
+                    Row::new("bulk_build")
+                        .index(kind.name())
+                        .dataset(ds.name())
+                        .workload("bulk-load")
+                        .x(t as f64)
+                        .value("speedup_vs_serial", serial / best)
+                        .emit();
+                }
+            }
+        }
+    }
+}

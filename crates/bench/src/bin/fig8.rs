@@ -36,7 +36,7 @@ fn main() {
                 if !args.wants_index(kind.name()) {
                     continue;
                 }
-                let idx = kind.build(&setup.bulk);
+                let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
                 for &k in &setup.reserve {
                     let _ = idx.insert(k, k ^ 0x5555);
                 }
@@ -57,7 +57,7 @@ fn main() {
                 if !args.wants_index(kind.name()) {
                     continue;
                 }
-                let idx = kind.build(&setup.bulk);
+                let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
                 let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
                 let r = run_workload(&idx, &plan, &cfg);
                 Row::new("fig8b")
@@ -79,7 +79,7 @@ fn main() {
                 if !args.wants_index(kind.name()) {
                     continue;
                 }
-                let idx = kind.build(&setup.bulk);
+                let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
                 let plan = setup.plan(Mix::SCAN, args.theta, args.seed);
                 let scan_cfg = DriverConfig {
                     ops_per_thread: (args.ops / 20).max(1_000),
@@ -105,7 +105,7 @@ fn main() {
                 if !args.wants_index(kind.name()) {
                     continue;
                 }
-                let idx = kind.build(&setup.bulk);
+                let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
                 let plan = setup.plan(Mix::READ_ONLY, args.theta, args.seed);
                 let r = run_workload(&idx, &plan, &cfg);
                 Row::new("fig8d")
@@ -128,7 +128,7 @@ fn main() {
                 if !args.wants_index(kind.name()) {
                     continue;
                 }
-                let idx = kind.build(&setup.bulk);
+                let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
                 let plan = WorkloadPlan::new(
                     setup.loaded_keys(),
                     setup.reserve.clone(),

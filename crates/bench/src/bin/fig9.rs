@@ -34,7 +34,7 @@ fn main() {
                 continue;
             }
             for &threads in &sweep {
-                let idx = kind.build(&setup.bulk);
+                let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
                 let plan = setup.plan(Mix::BALANCED, args.theta, args.seed);
                 let cfg = DriverConfig {
                     threads,

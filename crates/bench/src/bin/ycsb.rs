@@ -60,7 +60,7 @@ fn main() {
             if !args.wants_index(kind.name()) {
                 continue;
             }
-            let idx = kind.build(&setup.bulk);
+            let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
             let plan = setup.plan(mix, args.theta, args.seed);
             let cfg = DriverConfig {
                 threads: args.threads,

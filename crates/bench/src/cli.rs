@@ -29,6 +29,12 @@ pub struct Args {
     /// Install a schedule-perturbing chaos run with this seed (needs the
     /// crate's `chaos` feature; see [`crate::chaos`]).
     pub chaos_seed: Option<u64>,
+    /// Construction thread counts (`--build-threads 1,2,8`). The
+    /// bulk_build experiment sweeps all of them; every other bin uses the
+    /// first entry for its one-off index construction. Empty = serial
+    /// plus the host's available parallelism (bulk_build) / available
+    /// parallelism (other bins).
+    pub build_threads: Vec<usize>,
 }
 
 impl Default for Args {
@@ -44,6 +50,7 @@ impl Default for Args {
             indexes: Vec::new(),
             metrics: false,
             chaos_seed: None,
+            build_threads: Vec::new(),
         }
     }
 }
@@ -53,6 +60,12 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get().min(32))
         .unwrap_or(4)
+}
+
+/// Default construction thread count (uncapped — bulk load scales past
+/// the workload harness's 32-thread ceiling).
+pub fn default_build_threads() -> usize {
+    alt_index::default_build_threads()
 }
 
 impl Args {
@@ -88,11 +101,21 @@ impl Args {
                 }
                 "--metrics" => out.metrics = true,
                 "--chaos-seed" => out.chaos_seed = Some(val().parse().expect("--chaos-seed")),
+                "--build-threads" => {
+                    out.build_threads = val()
+                        .split(',')
+                        .map(|s| {
+                            let t: usize = s.parse().expect("--build-threads");
+                            assert!(t >= 1, "--build-threads entries must be >= 1");
+                            t
+                        })
+                        .collect();
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --keys N --threads N --ops N --datasets a,b \
                          --part a|b|c|d|e --theta F --seed N --indexes x,y \
-                         --metrics --chaos-seed N"
+                         --metrics --chaos-seed N --build-threads 1,2,8"
                     );
                     std::process::exit(0);
                 }
@@ -100,6 +123,33 @@ impl Args {
             }
         }
         out
+    }
+
+    /// The construction thread count for bins that build each index once
+    /// (everything except bulk_build, which sweeps
+    /// [`Args::build_threads_sweep`]): first `--build-threads` entry, or
+    /// the host's available parallelism.
+    pub fn construction_threads(&self) -> usize {
+        self.build_threads
+            .first()
+            .copied()
+            .unwrap_or_else(default_build_threads)
+    }
+
+    /// The thread counts the bulk_build experiment sweeps: the
+    /// `--build-threads` list as given, or serial plus the host's
+    /// available parallelism.
+    pub fn build_threads_sweep(&self) -> Vec<usize> {
+        if self.build_threads.is_empty() {
+            let host = default_build_threads();
+            if host > 1 {
+                vec![1, host]
+            } else {
+                vec![1]
+            }
+        } else {
+            self.build_threads.clone()
+        }
     }
 
     /// Whether sub-part `p` was selected (empty selector = run all).
@@ -168,6 +218,21 @@ mod tests {
         assert!(!a.wants_index("XIndex"));
         assert!(a.metrics);
         assert!(!parse(&[]).metrics, "off by default");
+    }
+
+    #[test]
+    fn build_threads_flag_and_sweeps() {
+        let a = parse(&["--build-threads", "1,2,8"]);
+        assert_eq!(a.build_threads, vec![1, 2, 8]);
+        assert_eq!(a.construction_threads(), 1);
+        assert_eq!(a.build_threads_sweep(), vec![1, 2, 8]);
+
+        let d = parse(&[]);
+        assert!(d.build_threads.is_empty());
+        assert_eq!(d.construction_threads(), default_build_threads());
+        let sweep = d.build_threads_sweep();
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.len() <= 2);
     }
 
     #[test]

@@ -55,14 +55,24 @@ impl IndexKind {
         }
     }
 
-    /// Bulk-load this index over sorted unique pairs.
+    /// Bulk-load this index over sorted unique pairs, using the host's
+    /// available parallelism for the indexes with a parallel builder.
     pub fn build(&self, pairs: &[(u64, u64)]) -> Arc<dyn ConcurrentIndex> {
+        self.build_threaded(pairs, alt_index::default_build_threads())
+    }
+
+    /// Bulk-load with an explicit construction thread count (the
+    /// `--build-threads` axis of the bulk_build experiment). `1` is the
+    /// serial build path; indexes without a parallel builder (the
+    /// baselines) fall back to it for any count.
+    pub fn build_threaded(&self, pairs: &[(u64, u64)], threads: usize) -> Arc<dyn ConcurrentIndex> {
         match self {
-            IndexKind::Alt => Arc::new(AltIndex::bulk_load_default(pairs)),
+            IndexKind::Alt => Arc::new(AltIndex::bulk_load_threaded(pairs, threads)),
             IndexKind::AltNoFastPtr => Arc::new(AltIndex::bulk_load_with(
                 pairs,
                 AltConfig {
                     fast_pointers: false,
+                    build_threads: threads,
                     ..Default::default()
                 },
             )),
@@ -70,14 +80,15 @@ impl IndexKind {
                 pairs,
                 AltConfig {
                     retrain: false,
+                    build_threads: threads,
                     ..Default::default()
                 },
             )),
-            IndexKind::Art => Arc::new(Art::bulk_load(pairs)),
-            IndexKind::Alex => Arc::new(AlexLike::bulk_load(pairs)),
-            IndexKind::Lipp => Arc::new(LippLike::bulk_load(pairs)),
-            IndexKind::XIndex => Arc::new(XIndexLike::bulk_load(pairs)),
-            IndexKind::Finedex => Arc::new(FinedexLike::bulk_load(pairs)),
+            IndexKind::Art => Arc::new(Art::bulk_load_threaded(pairs, threads)),
+            IndexKind::Alex => Arc::new(AlexLike::bulk_load_threaded(pairs, threads)),
+            IndexKind::Lipp => Arc::new(LippLike::bulk_load_threaded(pairs, threads)),
+            IndexKind::XIndex => Arc::new(XIndexLike::bulk_load_threaded(pairs, threads)),
+            IndexKind::Finedex => Arc::new(FinedexLike::bulk_load_threaded(pairs, threads)),
         }
     }
 }

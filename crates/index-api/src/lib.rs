@@ -124,7 +124,23 @@ pub trait ConcurrentIndex: Send + Sync {
 pub trait BulkLoad: Sized {
     /// Build the index over `pairs`, which must be sorted by key, free of
     /// duplicates, and free of the reserved key 0.
+    ///
+    /// Implementations must reject invalid input uniformly: call
+    /// [`debug_validate_bulk_input`] (a debug-assert-tier check — free in
+    /// release builds) before touching the data.
     fn bulk_load(pairs: &[(Key, Value)]) -> Self;
+
+    /// Build the index over `pairs` using up to `threads` worker threads.
+    ///
+    /// The result must be observably identical to [`BulkLoad::bulk_load`]
+    /// for every thread count (the build-equivalence contract). The
+    /// default implementation is the generic fallback for indexes without
+    /// a parallel builder: it simply delegates to the serial path.
+    /// `AltIndex` and `Art` override it.
+    fn bulk_load_threaded(pairs: &[(Key, Value)], threads: usize) -> Self {
+        let _ = threads;
+        Self::bulk_load(pairs)
+    }
 }
 
 /// Validates a bulk-load input slice: sorted, unique, no reserved key.
@@ -146,6 +162,19 @@ pub fn validate_bulk_input(pairs: &[(Key, Value)]) -> std::result::Result<(), St
         prev = Some(k);
     }
     Ok(())
+}
+
+/// Debug-assert-tier bulk-input validation used by every [`BulkLoad`]
+/// impl: panics with the violation description in debug builds, compiles
+/// to nothing in release builds (bulk load is on the measured path of the
+/// build benchmarks, and the input contract is the caller's).
+#[track_caller]
+pub fn debug_validate_bulk_input(pairs: &[(Key, Value)]) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = validate_bulk_input(pairs) {
+            panic!("invalid bulk-load input: {e}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +275,32 @@ mod tests {
         assert!(validate_bulk_input(&[(0, 0)]).is_err());
         assert!(validate_bulk_input(&[(2, 0), (1, 0)]).is_err());
         assert!(validate_bulk_input(&[(2, 0), (2, 0)]).is_err());
+    }
+
+    /// Trivial BulkLoad impl to exercise the trait's default threaded
+    /// entry point and the shared validation helper.
+    struct VecIndex(Vec<(Key, Value)>);
+
+    impl BulkLoad for VecIndex {
+        fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+            debug_validate_bulk_input(pairs);
+            VecIndex(pairs.to_vec())
+        }
+    }
+
+    #[test]
+    fn bulk_load_threaded_default_delegates_to_serial() {
+        let pairs = [(1u64, 10u64), (5, 50), (9, 90)];
+        let a = VecIndex::bulk_load(&pairs);
+        let b = VecIndex::bulk_load_threaded(&pairs, 8);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "invalid bulk-load input")]
+    fn debug_validate_panics_on_bad_input() {
+        debug_validate_bulk_input(&[(2, 0), (1, 0)]);
     }
 
     #[test]

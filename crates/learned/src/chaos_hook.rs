@@ -1,0 +1,19 @@
+//! Forwarders to `testkit`'s chaos engine, compiled away entirely unless
+//! the `chaos` feature is enabled.
+//!
+//! Sites instrumented in this crate: the parallel GPL chunk runs and the
+//! seam-stitch pass in `gpl.rs` (`gpl.par.chunk`, `gpl.stitch.splice`,
+//! `gpl.stitch.seam`).
+
+/// Schedule-perturbation point. No-op (inlined empty fn) without the
+/// `chaos` feature.
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn point(site: &'static str) {
+    testkit::chaos::point(site);
+}
+
+/// Schedule-perturbation point (disabled build): compiles to nothing.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn point(_site: &'static str) {}

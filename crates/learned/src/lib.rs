@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod chaos_hook;
 pub mod gpl;
 pub mod linear;
 pub mod lpa;
@@ -32,7 +33,7 @@ pub mod rmi;
 pub mod search;
 pub mod shrinking_cone;
 
-pub use gpl::{gpl_segment, GplSegmenter, Segment};
+pub use gpl::{gpl_segment, gpl_segment_parallel, GplSegmenter, Segment};
 pub use linear::LinearModel;
 pub use lpa::lpa_segment;
 pub use optimal::{optimal_segment, optimal_segment_count};

@@ -10,8 +10,12 @@
 //!    duplication, and every eviction is justified by a real collision;
 //! 3. **monotonicity** — gapped placement never re-orders keys, which is
 //!    what lets slot walks produce sorted scans.
+//! 4. **parallel determinism** — chunked segmentation + seam stitching
+//!    ([`learned::gpl_segment_parallel`]) reproduces the serial segment
+//!    list exactly for any thread count, the contract ALT-index's
+//!    parallel bulk load (and the build-equivalence suite) stands on.
 
-use learned::{gpl_segment, LinearModel};
+use learned::{gpl_segment, gpl_segment_parallel, LinearModel};
 use proptest::collection::btree_set;
 use proptest::prelude::*;
 
@@ -111,6 +115,23 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Invariant 4: the parallel segmenter is a drop-in for the serial
+    /// one — identical output for every thread count, including thread
+    /// counts that do not divide the input evenly and inputs small enough
+    /// that the splitter degrades to the serial path.
+    #[test]
+    fn parallel_segmentation_equals_serial(
+        keys in sorted_keys(2000),
+        eps in 0.5f64..64.0,
+        threads in 1usize..12,
+    ) {
+        let serial = gpl_segment(&keys, eps);
+        prop_assert_eq!(
+            gpl_segment_parallel(&keys, eps, threads), serial,
+            "threads={}", threads
+        );
     }
 
     /// Invariant 3: placement preserves key order across slots, so a

@@ -8,6 +8,9 @@ mkdir -p results
 KEYS=${KEYS:-1m}
 THREADS=${THREADS:-4}
 OPS=${OPS:-50k}
+# Construction thread counts the bulk_build sweep records (serial
+# baseline first; see results/BENCH_bulk_build.json).
+BUILD_THREADS=${BUILD_THREADS:-1,2,4,8}
 BIN=target/release
 
 run() {
@@ -27,4 +30,9 @@ run fig8   --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
 run fig9   --keys "$KEYS" --threads "$THREADS" --ops 25k
 run fig10  --keys "$KEYS"
 run ablation --keys "$KEYS" --threads "$THREADS" --ops "$OPS"
+run bulk_build --keys "$KEYS" --build-threads "$BUILD_THREADS"
+# The machine-readable build-cost baseline (JSON lines, one row object
+# per line — the shape scripts/summarize_results.py parses).
+grep '#json' "results/bulk_build$SUFFIX.txt" | sed 's/^#json //' \
+    > "results/BENCH_bulk_build$SUFFIX.json"
 echo "ALL EXPERIMENTS DONE"

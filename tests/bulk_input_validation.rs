@@ -1,0 +1,67 @@
+//! Bulk-load input validation must be uniform: every `BulkLoad` impl in
+//! the workspace debug-asserts `validate_bulk_input` before touching the
+//! data, so an unsorted, duplicated, or reserved-key-0 input is rejected
+//! the same way by all six indexes — on both the serial and the threaded
+//! entry points.
+//!
+//! The check is debug-assert tier (free in release builds, where bulk
+//! load is on the measured path of the build benchmarks), so this test
+//! only compiles under `debug_assertions` — which is where `cargo test`
+//! runs it.
+
+#![cfg(debug_assertions)]
+
+use alt_index::AltIndex;
+use art::Art;
+use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
+use index_api::BulkLoad;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn rejects_bad_accepts_good<I: BulkLoad>(label: &str) {
+    let bad: [(&str, Vec<(u64, u64)>); 3] = [
+        ("unsorted", vec![(10, 1), (5, 2), (7, 3)]),
+        ("duplicate", vec![(3, 1), (3, 2), (9, 3)]),
+        ("reserved-key-0", vec![(0, 1), (4, 2)]),
+    ];
+    for (kind, input) in &bad {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ = I::bulk_load(input);
+        }));
+        assert!(
+            r.is_err(),
+            "{label}: {kind} input must be rejected by bulk_load"
+        );
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ = I::bulk_load_threaded(input, 4);
+        }));
+        assert!(
+            r.is_err(),
+            "{label}: {kind} input must be rejected by bulk_load_threaded"
+        );
+    }
+    // Control: a valid input builds fine through both entry points.
+    let ok = vec![(1u64, 10u64), (2, 20), (9, 90)];
+    let _ = I::bulk_load(&ok);
+    let _ = I::bulk_load_threaded(&ok, 4);
+}
+
+#[test]
+fn all_six_indexes_reject_invalid_bulk_input_uniformly() {
+    // The rejection panics are expected; silence the default hook so the
+    // test log isn't 36 spurious backtraces (restored on exit — this is
+    // the only test in the binary, so the global hook is uncontended).
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(|| {
+        rejects_bad_accepts_good::<AltIndex>("alt-index");
+        rejects_bad_accepts_good::<Art>("art");
+        rejects_bad_accepts_good::<AlexLike>("alex+");
+        rejects_bad_accepts_good::<LippLike>("lipp+");
+        rejects_bad_accepts_good::<XIndexLike>("xindex");
+        rejects_bad_accepts_good::<FinedexLike>("finedex");
+    });
+    std::panic::set_hook(prev);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}

@@ -12,7 +12,7 @@
 //! `CHAOS_SEED_BASE` (env, decimal) offsets the seed range — CI uses it
 //! to run a fixed seed matrix.
 
-use alt_index::AltIndex;
+use alt_index::{AltConfig, AltIndex};
 use art::Art;
 use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
 use index_api::BulkLoad;
@@ -52,6 +52,40 @@ fn sweep<I: BulkLoad + index_api::ConcurrentIndex>(label: &str) {
 #[test]
 fn chaos_alt_index() {
     sweep::<AltIndex>("alt-index");
+}
+
+/// The parallel-bulk-build satellite: ≥8 seeds whose AltIndex is built
+/// by the *parallel* loader (`build_threads > 1`, universe enlarged so
+/// the chunked segmenter and sharded population actually engage) before
+/// the concurrent mutation phase runs. Retrain/insert/remove/scan must
+/// behave identically to a serial-built index — the oracle would flag
+/// any divergence.
+#[test]
+fn chaos_alt_index_parallel_built() {
+    let base = seed_base();
+    for s in 0..8u64 {
+        let seed = base + 7_000 + s;
+        let mut scenario = if s % 2 == 0 {
+            Scenario::disjoint(seed)
+        } else {
+            Scenario::shared(seed)
+        };
+        // Default universe (~1.5k keys) is below the parallel builder's
+        // engagement threshold; widen it so every seed bulk-loads through
+        // chunked GPL + seam stitch + sharded population.
+        scenario.keys_per_thread = 1024;
+        let cfg = AltConfig {
+            build_threads: 4,
+            ..Default::default()
+        };
+        let idx = AltIndex::bulk_load_with(&scenario.initial_pairs(), cfg);
+        if let Err(report) = scenario.run(&idx) {
+            panic!(
+                "parallel-built alt-index seed {seed} ({:?}): {report}",
+                scenario.partition
+            );
+        }
+    }
 }
 
 #[test]
