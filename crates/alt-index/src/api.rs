@@ -25,6 +25,10 @@ impl ConcurrentIndex for AltIndex {
         AltIndex::remove(self, key)
     }
 
+    fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        AltIndex::get_batch_amac(self, keys, out)
+    }
+
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {
         AltIndex::range(self, lo, hi, out)
     }

@@ -3,8 +3,10 @@
 //!
 //! Sites instrumented in this crate: slot-array claim/read/update/remove
 //! (`slots.rs`), the fast-pointer append spin lock (`spin.rs`), the
-//! retrain directory swap (`retrain.rs`), and fast-pointer registration
-//! merging (`fast_ptr.rs`).
+//! retrain directory swap (`retrain.rs`), fast-pointer registration
+//! merging (`fast_ptr.rs`), and the AMAC batch engine's per-step
+//! `batch.stage` point (`batch.rs` — perturbs the interleaving of
+//! in-flight batched lookups relative to concurrent writers).
 
 /// Schedule-perturbation point. No-op (inlined empty fn) without the
 /// `chaos` feature.

@@ -329,7 +329,7 @@ impl AltIndex {
     /// lock → ART). `maybe_retrain` only `try_lock`s `dir_lock`, so an
     /// escalated op can never deadlock a retrain trigger — it just shows
     /// up as `RetrainSkippedBusy`.
-    fn get_pessimistic(&self, key: u64) -> Option<u64> {
+    pub(crate) fn get_pessimistic(&self, key: u64) -> Option<u64> {
         let _dl = self.dir_lock.lock();
         let guard = epoch::pin();
         let dir = self.dir_ref(&guard);
@@ -344,7 +344,7 @@ impl AltIndex {
 
     /// Opportunistic write-back (Algorithm 2 lines 10-13): move an ART
     /// entry into the tombstoned slot it predicts to.
-    fn try_write_back(&self, m: &GplModel, pred: usize, key: u64, value: u64) {
+    pub(crate) fn try_write_back(&self, m: &GplModel, pred: usize, key: u64, value: u64) {
         crate::metrics_hook::write_back_attempt();
         // Never fight a retrain for this optimization.
         let Some(_rl) = m.op_lock.try_read() else {

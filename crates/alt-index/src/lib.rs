@@ -42,6 +42,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod api;
+mod batch;
 pub(crate) mod chaos_hook;
 pub mod config;
 pub(crate) mod contention;

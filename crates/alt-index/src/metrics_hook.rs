@@ -5,8 +5,10 @@
 //! Sites instrumented in this crate: slot-version read/lock retries
 //! (`slots.rs`), fast-pointer jump hits vs de-optimized root fallbacks
 //! and registration retries (`index.rs`, `fast_ptr.rs`), scan directory-
-//! epoch retries (`scan.rs`), write-back attempts, and the retrain
-//! phases (`retrain.rs`).
+//! epoch retries (`scan.rs`), write-back attempts, the retrain
+//! phases (`retrain.rs`), and the AMAC batch-lookup engine (`batch.rs`:
+//! calls/keys, per-stage prefetches, learned-hit vs ART-handoff split,
+//! per-key restarts).
 
 #[cfg(feature = "metrics")]
 mod real {
@@ -72,6 +74,30 @@ mod real {
             resilience::Tier::Park => obs::incr(Counter::AltBackoffPark),
         }
     }
+    #[inline]
+    pub(crate) fn batch_lookups() {
+        obs::incr(Counter::AltBatchLookups);
+    }
+    #[inline]
+    pub(crate) fn batch_keys(n: usize) {
+        obs::add(Counter::AltBatchKeys, n as u64);
+    }
+    #[inline]
+    pub(crate) fn batch_learned_hit() {
+        obs::incr(Counter::AltBatchLearnedHit);
+    }
+    #[inline]
+    pub(crate) fn batch_art_handoff() {
+        obs::incr(Counter::AltBatchArtHandoff);
+    }
+    #[inline]
+    pub(crate) fn batch_prefetch() {
+        obs::incr(Counter::AltBatchPrefetch);
+    }
+    #[inline]
+    pub(crate) fn batch_restart() {
+        obs::incr(Counter::AltBatchRestart);
+    }
 
     /// Monotonic timestamp for phase timing; pair with the `retrain_*_done`
     /// recorders below.
@@ -135,6 +161,18 @@ mod real {
     pub(crate) fn escalation() {}
     #[inline(always)]
     pub(crate) fn backoff_transition(_tier: resilience::Tier) {}
+    #[inline(always)]
+    pub(crate) fn batch_lookups() {}
+    #[inline(always)]
+    pub(crate) fn batch_keys(_n: usize) {}
+    #[inline(always)]
+    pub(crate) fn batch_learned_hit() {}
+    #[inline(always)]
+    pub(crate) fn batch_art_handoff() {}
+    #[inline(always)]
+    pub(crate) fn batch_prefetch() {}
+    #[inline(always)]
+    pub(crate) fn batch_restart() {}
     #[inline(always)]
     pub(crate) fn now_ns() -> u64 {
         0

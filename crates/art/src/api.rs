@@ -32,6 +32,10 @@ impl ConcurrentIndex for Art {
         Art::remove(self, key)
     }
 
+    fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        Art::get_batch_amac(self, keys, out)
+    }
+
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {
         Art::range(self, lo, hi, out)
     }

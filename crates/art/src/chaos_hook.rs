@@ -2,8 +2,10 @@
 //! the `chaos` feature is enabled.
 //!
 //! Sites instrumented in this crate: the OLC version-lock protocol
-//! (`olc.rs`: snapshot, validate, upgrade) and the fast-pointer jump
-//! entry points (`jump.rs`).
+//! (`olc.rs`: snapshot, validate, upgrade), the fast-pointer jump entry
+//! points (`jump.rs`), and the batch engine's per-step `batch.stage`
+//! point (`batch.rs` — perturbs the interleaving order of in-flight
+//! batched descents relative to concurrent writers).
 
 /// Schedule-perturbation point. No-op (inlined empty fn) without the
 /// `chaos` feature.

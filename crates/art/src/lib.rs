@@ -25,6 +25,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod api;
+mod batch;
 pub(crate) mod chaos_hook;
 pub(crate) mod contention;
 mod jump;
@@ -35,6 +36,7 @@ mod scan;
 mod stats;
 mod tree;
 
+pub use batch::{BatchCursor, BatchStep, RING_WIDTH};
 pub use node::{key_byte, key_bytes, NodePtr, NodeType, MAX_PREFIX, NO_SLOT};
 pub use olc::VersionLock;
 pub use stats::ArtStats;

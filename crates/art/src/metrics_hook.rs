@@ -3,7 +3,9 @@
 //! [`crate::chaos_hook`] for the chaos testkit.
 //!
 //! Sites instrumented in this crate: OLC version-validation restarts
-//! (`olc.rs`) and jump-path entry outcomes (`jump.rs`).
+//! (`olc.rs`), jump-path entry outcomes (`jump.rs`), and the AMAC batch
+//! engine (`batch.rs`: keys processed, child prefetches, per-key
+//! restarts).
 
 #[cfg(feature = "metrics")]
 mod real {
@@ -33,6 +35,18 @@ mod real {
             resilience::Tier::Park => obs::incr(Counter::ArtBackoffPark),
         }
     }
+    #[inline]
+    pub(crate) fn batch_keys(n: usize) {
+        obs::add(Counter::ArtBatchKeys, n as u64);
+    }
+    #[inline]
+    pub(crate) fn batch_prefetch() {
+        obs::incr(Counter::ArtBatchPrefetch);
+    }
+    #[inline]
+    pub(crate) fn batch_restart() {
+        obs::incr(Counter::ArtBatchRestart);
+    }
 }
 
 #[cfg(not(feature = "metrics"))]
@@ -48,6 +62,12 @@ mod real {
     pub(crate) fn escalation() {}
     #[inline(always)]
     pub(crate) fn backoff_transition(_tier: resilience::Tier) {}
+    #[inline(always)]
+    pub(crate) fn batch_keys(_n: usize) {}
+    #[inline(always)]
+    pub(crate) fn batch_prefetch() {}
+    #[inline(always)]
+    pub(crate) fn batch_restart() {}
 }
 
 pub(crate) use real::*;

@@ -489,6 +489,23 @@ impl ConcurrentIndex for AlexLike {
         }
     }
 
+    fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        crate::batch::get_batch_grouped(self, keys, out, |group| {
+            // Warm each key's leaf node header a group ahead of the
+            // probes; the node struct's first line holds the seqlock and
+            // model the probe touches first.
+            let guard = epoch::pin();
+            let dir = self.dir.load(&guard);
+            for &k in group {
+                if k == 0 {
+                    continue;
+                }
+                prefetch::prefetch_read_ref(&dir.nodes[dir.locate(k)]);
+                crate::metrics_hook::batch_prefetch();
+            }
+        });
+    }
+
     fn insert(&self, key: Key, value: Value) -> Result<()> {
         if key == 0 {
             return Err(IndexError::ReservedKey);

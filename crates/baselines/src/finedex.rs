@@ -205,6 +205,20 @@ impl ConcurrentIndex for FinedexLike {
         None
     }
 
+    fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        crate::batch::get_batch_grouped(self, keys, out, |group| {
+            // Warm each key's model header (first_key, bound, the key
+            // array pointer the bounded search dereferences first).
+            for &k in group {
+                if k == 0 {
+                    continue;
+                }
+                prefetch::prefetch_read_ref(self.locate(k));
+                crate::metrics_hook::batch_prefetch();
+            }
+        });
+    }
+
     fn insert(&self, key: Key, value: Value) -> Result<()> {
         if key == 0 {
             return Err(IndexError::ReservedKey);

@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod alex;
+pub(crate) mod batch;
 pub(crate) mod chaos_hook;
 pub(crate) mod contention;
 pub mod finedex;

@@ -242,6 +242,23 @@ impl ConcurrentIndex for LippLike {
         }
     }
 
+    fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        crate::batch::get_batch_grouped(self, keys, out, |group| {
+            // Warm each key's root-level slot: tag and key live in
+            // separate arrays, so two prefetches per key.
+            for &k in group {
+                if k == 0 {
+                    continue;
+                }
+                let slot = self.root.predict(k);
+                prefetch::prefetch_read_ref(&self.root.tags[slot]);
+                prefetch::prefetch_read_ref(&self.root.keys[slot]);
+                crate::metrics_hook::batch_prefetch();
+                crate::metrics_hook::batch_prefetch();
+            }
+        });
+    }
+
     fn insert(&self, key: Key, value: Value) -> Result<()> {
         if key == 0 {
             return Err(IndexError::ReservedKey);

@@ -4,7 +4,8 @@
 //!
 //! Sites instrumented in this crate: seqlock read retries (`seqlock.rs`)
 //! and RCU snapshot publications (`rcu.rs`), the primitives every
-//! baseline index in this crate is built on.
+//! baseline index in this crate is built on, plus the group-prefetch
+//! batched-lookup pass (`batch.rs`).
 
 #[cfg(feature = "metrics")]
 mod real {
@@ -30,6 +31,10 @@ mod real {
             resilience::Tier::Park => obs::incr(Counter::BaselineBackoffPark),
         }
     }
+    #[inline]
+    pub(crate) fn batch_prefetch() {
+        obs::incr(Counter::BaselineBatchPrefetch);
+    }
 }
 
 #[cfg(not(feature = "metrics"))]
@@ -43,6 +48,8 @@ mod real {
     pub(crate) fn escalation() {}
     #[inline(always)]
     pub(crate) fn backoff_transition(_tier: resilience::Tier) {}
+    #[inline(always)]
+    pub(crate) fn batch_prefetch() {}
 }
 
 pub(crate) use real::*;

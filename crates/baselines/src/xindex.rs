@@ -323,6 +323,22 @@ impl ConcurrentIndex for XIndexLike {
         res
     }
 
+    fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        crate::batch::get_batch_grouped(self, keys, out, |group| {
+            // Warm each key's group header (the RCU data pointer and the
+            // buffer lock live there) a group ahead of the probes.
+            let guard = epoch::pin();
+            let dir = self.dir.load(&guard);
+            for &k in group {
+                if k == 0 {
+                    continue;
+                }
+                prefetch::prefetch_read_ref(&dir.groups[dir.locate(k)]);
+                crate::metrics_hook::batch_prefetch();
+            }
+        });
+    }
+
     fn insert(&self, key: Key, value: Value) -> Result<()> {
         if key == 0 {
             return Err(IndexError::ReservedKey);

@@ -29,6 +29,7 @@ fn main() {
         threads: args.threads,
         ops_per_thread: args.ops,
         latency_sample_every: 16,
+        batch: 0,
     };
 
     if args.wants_part("a") {

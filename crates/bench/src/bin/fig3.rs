@@ -60,6 +60,7 @@ fn main() {
             threads: args.threads,
             ops_per_thread: args.ops,
             latency_sample_every: 16,
+            batch: 0,
         };
         for eps in [8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0] {
             let fin: Arc<dyn ConcurrentIndex> =

@@ -46,6 +46,7 @@ fn main() {
                     threads: args.threads,
                     ops_per_thread: args.ops,
                     latency_sample_every: 16,
+                    batch: 0,
                 };
                 let r = run_workload(&idx, &plan, &cfg);
                 Row::new("fig6b")

@@ -26,6 +26,7 @@ fn main() {
         threads: args.threads,
         ops_per_thread: args.ops,
         latency_sample_every: 16,
+        batch: 0,
     };
 
     // (a) Memory overhead: bulk-load 50%, insert the rest, measure bytes.

@@ -41,6 +41,7 @@ fn main() {
                     // Keep total work roughly constant across the sweep.
                     ops_per_thread: (args.ops * 4 / threads).max(10_000),
                     latency_sample_every: 16,
+                    batch: 0,
                 };
                 let r = run_workload(&idx, &plan, &cfg);
                 Row::new("fig9")

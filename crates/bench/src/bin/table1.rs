@@ -33,6 +33,7 @@ fn main() {
                 threads: args.threads,
                 ops_per_thread: args.ops,
                 latency_sample_every: 8,
+                batch: 0,
             };
             let r = run_workload(&idx, &plan, &cfg);
             Row::new("table1")

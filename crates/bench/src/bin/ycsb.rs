@@ -7,14 +7,19 @@
 //!     --keys 2m --threads 8 --ops 500k --datasets osm \
 //!     --indexes alt-index,art --mix 80,20,0 --theta 0.9
 //! ```
+//!
+//! `--batch N` (N >= 2) routes runs of consecutive reads through
+//! `get_batch` in N-wide flushes (see `DriverConfig::batch`); rows are
+//! then labelled `<mix>+batchN`.
 
 use bench::report::banner;
 use bench::{Args, IndexKind, Row, Setup};
 use workloads::{run_workload, DriverConfig, Mix};
 
 fn main() {
-    // Split off the extra --mix flag before the common parser.
+    // Split off the extra --mix / --batch flags before the common parser.
     let mut mix = Mix::BALANCED;
+    let mut batch = 0usize;
     let mut rest = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -26,6 +31,8 @@ fn main() {
                 .collect();
             assert_eq!(parts.len(), 3, "--mix read,insert,scan");
             mix = Mix::new(parts[0], parts[1], parts[2]);
+        } else if a == "--batch" {
+            batch = argv.next().expect("--batch N").parse().expect("--batch");
         } else {
             rest.push(a);
         }
@@ -34,14 +41,15 @@ fn main() {
     banner(
         "ycsb",
         &format!(
-            "mix={}/{}/{} keys={} threads={} ops/thread={} theta={}",
+            "mix={}/{}/{} keys={} threads={} ops/thread={} theta={} batch={}",
             mix.read_pct,
             mix.insert_pct,
             mix.scan_pct,
             args.keys,
             args.threads,
             args.ops,
-            args.theta
+            args.theta,
+            batch
         ),
     );
     let kinds = [
@@ -66,12 +74,18 @@ fn main() {
                 threads: args.threads,
                 ops_per_thread: args.ops,
                 latency_sample_every: 8,
+                batch,
             };
             let r = run_workload(&idx, &plan, &cfg);
+            let workload = if batch >= 2 {
+                format!("{}+batch{batch}", mix.label())
+            } else {
+                mix.label().to_string()
+            };
             Row::new("ycsb")
                 .index(kind.name())
                 .dataset(ds.name())
-                .workload(mix.label())
+                .workload(&workload)
                 .mops(r.mops)
                 .p999(r.p999_us)
                 .value(

@@ -35,6 +35,10 @@ pub struct Args {
     /// plus the host's available parallelism (bulk_build) / available
     /// parallelism (other bins).
     pub build_threads: Vec<usize>,
+    /// Batch widths (`--batch-width 1,8,32`). The batch_lookup
+    /// experiment sweeps all of them; empty = the default
+    /// {1, 8, 16, 32, 64} sweep. Width 1 is the scalar baseline.
+    pub batch_widths: Vec<usize>,
 }
 
 impl Default for Args {
@@ -51,6 +55,7 @@ impl Default for Args {
             metrics: false,
             chaos_seed: None,
             build_threads: Vec::new(),
+            batch_widths: Vec::new(),
         }
     }
 }
@@ -111,11 +116,22 @@ impl Args {
                         })
                         .collect();
                 }
+                "--batch-width" => {
+                    out.batch_widths = val()
+                        .split(',')
+                        .map(|s| {
+                            let w: usize = s.parse().expect("--batch-width");
+                            assert!(w >= 1, "--batch-width entries must be >= 1");
+                            w
+                        })
+                        .collect();
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --keys N --threads N --ops N --datasets a,b \
                          --part a|b|c|d|e --theta F --seed N --indexes x,y \
-                         --metrics --chaos-seed N --build-threads 1,2,8"
+                         --metrics --chaos-seed N --build-threads 1,2,8 \
+                         --batch-width 1,8,32"
                     );
                     std::process::exit(0);
                 }
@@ -149,6 +165,17 @@ impl Args {
             }
         } else {
             self.build_threads.clone()
+        }
+    }
+
+    /// The batch widths the batch_lookup experiment sweeps: the
+    /// `--batch-width` list as given, or the default
+    /// {1, 8, 16, 32, 64}.
+    pub fn batch_width_sweep(&self) -> Vec<usize> {
+        if self.batch_widths.is_empty() {
+            vec![1, 8, 16, 32, 64]
+        } else {
+            self.batch_widths.clone()
         }
     }
 
@@ -233,6 +260,17 @@ mod tests {
         let sweep = d.build_threads_sweep();
         assert_eq!(sweep[0], 1);
         assert!(sweep.len() <= 2);
+    }
+
+    #[test]
+    fn batch_width_flag_and_sweeps() {
+        let a = parse(&["--batch-width", "1,8,32"]);
+        assert_eq!(a.batch_widths, vec![1, 8, 32]);
+        assert_eq!(a.batch_width_sweep(), vec![1, 8, 32]);
+
+        let d = parse(&[]);
+        assert!(d.batch_widths.is_empty());
+        assert_eq!(d.batch_width_sweep(), vec![1, 8, 16, 32, 64]);
     }
 
     #[test]

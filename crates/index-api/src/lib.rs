@@ -75,6 +75,33 @@ pub trait ConcurrentIndex: Send + Sync {
     /// Remove a key, returning its value if it was present.
     fn remove(&self, key: Key) -> Option<Value>;
 
+    /// Batched point lookup: store `get(keys[i])` into `out[i]` for every
+    /// key. `out` must be at least as long as `keys`; entries past
+    /// `keys.len()` are left untouched.
+    ///
+    /// Semantics are **per-key linearizable**: each result is exactly
+    /// what some interleaved call of [`ConcurrentIndex::get`] would have
+    /// returned, but the batch as a whole is *not* a snapshot — under
+    /// concurrent writers, different keys may observe different points in
+    /// time (the same guarantee a loop of `get`s gives).
+    ///
+    /// The default implementation is that loop of `get`s, so every index
+    /// supports batching; `AltIndex` and `Art` override it with
+    /// AMAC-style interleaved state machines that overlap the cache
+    /// misses of many in-flight keys (see `DESIGN.md` §13), and the
+    /// baselines override it with a group-prefetch variant.
+    fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        assert!(
+            out.len() >= keys.len(),
+            "get_batch: out buffer ({}) shorter than keys ({})",
+            out.len(),
+            keys.len()
+        );
+        for (k, o) in keys.iter().zip(out.iter_mut()) {
+            *o = self.get(*k);
+        }
+    }
+
     /// Range scan: append every `(key, value)` with `lo <= key <= hi` to
     /// `out`, in ascending key order. Returns the number of entries
     /// appended.
@@ -301,6 +328,33 @@ mod tests {
     #[should_panic(expected = "invalid bulk-load input")]
     fn debug_validate_panics_on_bad_input() {
         debug_validate_bulk_input(&[(2, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn get_batch_default_matches_sequential_gets() {
+        let idx = RefIndex(Mutex::new(BTreeMap::new()));
+        for k in 1..=50u64 {
+            idx.insert(k * 3, k).unwrap();
+        }
+        // Present, absent, and reserved keys, in arbitrary order.
+        let keys = [3u64, 4, 0, 150, 149, 30];
+        let mut out = vec![None; keys.len() + 2];
+        out[keys.len()] = Some(0xDEAD); // past-the-end entries stay put
+        idx.get_batch(&keys, &mut out);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(out[i], idx.get(k), "key {k}");
+        }
+        assert_eq!(out[keys.len()], Some(0xDEAD));
+
+        // Width edge case: the empty batch is a no-op.
+        idx.get_batch(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "out buffer")]
+    fn get_batch_rejects_short_out_buffer() {
+        let idx = RefIndex(Mutex::new(BTreeMap::new()));
+        idx.get_batch(&[1, 2, 3], &mut [None; 2]);
     }
 
     #[test]

@@ -107,11 +107,39 @@ pub enum Counter {
     BaselineBackoffYield,
     /// Baseline backoff entering the Park tier.
     BaselineBackoffPark,
+    /// `get_batch` calls entering the ALT-index AMAC ring.
+    AltBatchLookups,
+    /// Keys processed by the ALT-index batch engine.
+    AltBatchKeys,
+    /// Batched keys answered entirely by the learned layer (slot probe
+    /// resolved the key without touching ART).
+    AltBatchLearnedHit,
+    /// Batched keys handed off to the interleaved ART descent (slot held
+    /// a tombstone or a colliding key).
+    AltBatchArtHandoff,
+    /// Software prefetches issued by the ALT-index batch stages
+    /// (directory slot lines + fast-pointer target nodes).
+    AltBatchPrefetch,
+    /// Per-key restarts inside the ALT-index batch engine (retired model
+    /// or slot-version conflict sent one key back to the predict stage).
+    AltBatchRestart,
+    /// Keys processed by the ART batch engine (direct `get_batch` calls
+    /// plus ALT-index handoffs).
+    ArtBatchKeys,
+    /// Software prefetches issued for child nodes by interleaved ART
+    /// descents.
+    ArtBatchPrefetch,
+    /// Per-key root restarts inside the ART batch engine (OLC version
+    /// conflict on an interleaved descent).
+    ArtBatchRestart,
+    /// Group prefetches issued by the baselines' batched lookups (first
+    /// -level node/group/model lines fetched ahead of sequential probes).
+    BaselineBatchPrefetch,
 }
 
 impl Counter {
     /// All counters, in rendering order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 36] = [
         Counter::SlotReadRetry,
         Counter::SlotLockRetry,
         Counter::FastPtrJumpHit,
@@ -138,6 +166,16 @@ impl Counter {
         Counter::BaselineEscalation,
         Counter::BaselineBackoffYield,
         Counter::BaselineBackoffPark,
+        Counter::AltBatchLookups,
+        Counter::AltBatchKeys,
+        Counter::AltBatchLearnedHit,
+        Counter::AltBatchArtHandoff,
+        Counter::AltBatchPrefetch,
+        Counter::AltBatchRestart,
+        Counter::ArtBatchKeys,
+        Counter::ArtBatchPrefetch,
+        Counter::ArtBatchRestart,
+        Counter::BaselineBatchPrefetch,
     ];
 
     /// Stable dotted `layer.event` name used in reports and bench JSON.
@@ -169,6 +207,16 @@ impl Counter {
             Counter::BaselineEscalation => "baseline.escalation",
             Counter::BaselineBackoffYield => "baseline.backoff_yield",
             Counter::BaselineBackoffPark => "baseline.backoff_park",
+            Counter::AltBatchLookups => "alt.batch_lookups",
+            Counter::AltBatchKeys => "alt.batch_keys",
+            Counter::AltBatchLearnedHit => "alt.batch_learned_hit",
+            Counter::AltBatchArtHandoff => "alt.batch_art_handoff",
+            Counter::AltBatchPrefetch => "alt.batch_prefetch",
+            Counter::AltBatchRestart => "alt.batch_restart",
+            Counter::ArtBatchKeys => "art.batch_keys",
+            Counter::ArtBatchPrefetch => "art.batch_prefetch",
+            Counter::ArtBatchRestart => "art.batch_restart",
+            Counter::BaselineBatchPrefetch => "baseline.batch_prefetch",
         }
     }
 }

@@ -40,6 +40,12 @@ pub struct Scenario {
     /// Chaos perturbation probability out of 1024; `0` skips installing
     /// a schedule (points stay inert).
     pub chaos_intensity: u32,
+    /// Batched-read width: `>= 2` coalesces runs of consecutive `Get`
+    /// ops into `get_batch` calls of at most this many keys (flushing
+    /// early at any mutation, so event order is preserved); `0` or `1`
+    /// issues scalar `get`s. The oracle treats the batch as consecutive
+    /// per-key reads either way.
+    pub batch_width: usize,
 }
 
 impl Scenario {
@@ -53,6 +59,7 @@ impl Scenario {
             keys_per_thread: 192,
             partition: Partition::Disjoint,
             chaos_intensity: 256,
+            batch_width: 0,
         }
     }
 
@@ -118,8 +125,34 @@ impl Scenario {
                     s.spawn(move || {
                         let mut rec = Recorder::new(index);
                         barrier.wait();
-                        for &op in script {
-                            exec(&mut rec, op);
+                        if self.batch_width >= 2 {
+                            // Coalesce runs of consecutive gets into
+                            // get_batch calls; any mutation flushes first
+                            // so the recorded event order matches the
+                            // issue order.
+                            let mut buf: Vec<Key> = Vec::with_capacity(self.batch_width);
+                            for &op in script {
+                                if let oracle::Op::Get(k) = op {
+                                    buf.push(k);
+                                    if buf.len() == self.batch_width {
+                                        rec.get_batch(&buf);
+                                        buf.clear();
+                                    }
+                                    continue;
+                                }
+                                if !buf.is_empty() {
+                                    rec.get_batch(&buf);
+                                    buf.clear();
+                                }
+                                exec(&mut rec, op);
+                            }
+                            if !buf.is_empty() {
+                                rec.get_batch(&buf);
+                            }
+                        } else {
+                            for &op in script {
+                                exec(&mut rec, op);
+                            }
                         }
                         rec.into_history()
                     })
@@ -257,6 +290,18 @@ mod tests {
     #[test]
     fn shared_scenario_passes_on_correct_index() {
         let s = Scenario::shared(13);
+        let idx = LockedMap(Mutex::new(s.initial_pairs().into_iter().collect()));
+        s.run(&idx).unwrap();
+    }
+
+    #[test]
+    fn batched_scenario_passes_on_correct_index() {
+        let mut s = Scenario::disjoint(17);
+        s.batch_width = 8;
+        let idx = LockedMap(Mutex::new(s.initial_pairs().into_iter().collect()));
+        s.run(&idx).unwrap();
+        let mut s = Scenario::shared(19);
+        s.batch_width = 8;
         let idx = LockedMap(Mutex::new(s.initial_pairs().into_iter().collect()));
         s.run(&idx).unwrap();
     }

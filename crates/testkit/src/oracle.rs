@@ -109,6 +109,22 @@ impl<'a> Recorder<'a> {
         r
     }
 
+    /// Issue a batched `get` over `keys` and record one `Get` event per
+    /// key. `get_batch` promises per-key linearizability (not an atomic
+    /// snapshot), so recording the batch as consecutive scalar reads is
+    /// exactly the guarantee the oracle should hold it to.
+    pub fn get_batch(&mut self, keys: &[Key]) -> Vec<Option<Value>> {
+        let mut out = vec![None; keys.len()];
+        self.index.get_batch(keys, &mut out);
+        for (&k, &r) in keys.iter().zip(out.iter()) {
+            self.history.events.push(Event {
+                op: Op::Get(k),
+                outcome: Outcome::Read(r),
+            });
+        }
+        out
+    }
+
     /// Issue and record an `insert`.
     pub fn insert(&mut self, key: Key, value: Value) -> Result<(), IndexError> {
         let r = self.index.insert(key, value);

@@ -20,6 +20,12 @@ pub struct DriverConfig {
     /// Measure latency on every `latency_sample_every`-th operation
     /// (1 = all; higher values keep the timer overhead off the hot path).
     pub latency_sample_every: usize,
+    /// Batched-read width: `>= 2` buffers consecutive `Op::Read`s and
+    /// issues them through [`ConcurrentIndex::get_batch`] (flushing early
+    /// at any write/scan so ordering against mutations is preserved);
+    /// `0` or `1` keeps the scalar read path. Sampled latencies then
+    /// measure whole-batch flushes rather than single reads.
+    pub batch: usize,
 }
 
 impl Default for DriverConfig {
@@ -28,6 +34,7 @@ impl Default for DriverConfig {
             threads: 4,
             ops_per_thread: 100_000,
             latency_sample_every: 16,
+            batch: 0,
         }
     }
 }
@@ -58,6 +65,31 @@ pub struct RunResult {
     pub failed_inserts: usize,
 }
 
+/// Drain the buffered read keys through `get_batch`, recording the
+/// flush latency when sampled and folding hits into the read counters.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch<I: ConcurrentIndex + ?Sized>(
+    index: &I,
+    keys: &mut Vec<u64>,
+    out: &mut [Option<u64>],
+    sampled: bool,
+    lat: &mut LatencyHistogram,
+    reads: &mut usize,
+    hits: &mut usize,
+) {
+    if keys.is_empty() {
+        return;
+    }
+    let t0 = sampled.then(Instant::now);
+    index.get_batch(keys, &mut out[..keys.len()]);
+    if let Some(t0) = t0 {
+        lat.record(t0.elapsed().as_nanos() as u64);
+    }
+    *reads += keys.len();
+    *hits += out[..keys.len()].iter().filter(|o| o.is_some()).count();
+    keys.clear();
+}
+
 /// Run `plan` over `index` with `cfg`. Blocks until all threads finish.
 pub fn run_workload<I: ConcurrentIndex + ?Sized + 'static>(
     index: &Arc<I>,
@@ -79,11 +111,13 @@ pub fn run_workload<I: ConcurrentIndex + ?Sized + 'static>(
         let failed = Arc::clone(&failed);
         let stream = plan.stream(t, threads, cfg.ops_per_thread);
         let sample_every = cfg.latency_sample_every.max(1);
-        let ops_per_thread = cfg.ops_per_thread;
-        let _ = ops_per_thread;
+        let batch = cfg.batch;
         handles.push(std::thread::spawn(move || {
             let mut lat = LatencyHistogram::new();
             let mut scan_buf: Vec<(u64, u64)> = Vec::with_capacity(128);
+            let mut batch_keys: Vec<u64> = Vec::with_capacity(batch);
+            let mut batch_out: Vec<Option<u64>> = vec![None; batch.max(1)];
+            let mut flushes = 0usize;
             let mut local_reads = 0usize;
             let mut local_hits = 0usize;
             let mut local_failed = 0usize;
@@ -91,6 +125,39 @@ pub fn run_workload<I: ConcurrentIndex + ?Sized + 'static>(
             let start = Instant::now();
             let mut n = 0usize;
             for op in stream {
+                if batch >= 2 {
+                    // Buffer consecutive reads; a write or scan flushes
+                    // first so the read sees every earlier mutation.
+                    if let Op::Read(k) = op {
+                        batch_keys.push(k);
+                        n += 1;
+                        if batch_keys.len() == batch {
+                            flush_batch(
+                                &*index,
+                                &mut batch_keys,
+                                &mut batch_out,
+                                flushes.is_multiple_of(sample_every),
+                                &mut lat,
+                                &mut local_reads,
+                                &mut local_hits,
+                            );
+                            flushes += 1;
+                        }
+                        continue;
+                    }
+                    if !batch_keys.is_empty() {
+                        flush_batch(
+                            &*index,
+                            &mut batch_keys,
+                            &mut batch_out,
+                            flushes.is_multiple_of(sample_every),
+                            &mut lat,
+                            &mut local_reads,
+                            &mut local_hits,
+                        );
+                        flushes += 1;
+                    }
+                }
                 let sampled = n.is_multiple_of(sample_every);
                 let t0 = if sampled { Some(Instant::now()) } else { None };
                 match op {
@@ -115,6 +182,15 @@ pub fn run_workload<I: ConcurrentIndex + ?Sized + 'static>(
                 }
                 n += 1;
             }
+            flush_batch(
+                &*index,
+                &mut batch_keys,
+                &mut batch_out,
+                flushes.is_multiple_of(sample_every),
+                &mut lat,
+                &mut local_reads,
+                &mut local_hits,
+            );
             let secs = start.elapsed().as_secs_f64();
             read_hits.fetch_add(local_hits, Ordering::Relaxed);
             reads.fetch_add(local_reads, Ordering::Relaxed);
@@ -219,6 +295,7 @@ mod tests {
             threads: 4,
             ops_per_thread: 2_000,
             latency_sample_every: 4,
+            batch: 0,
         };
         let r = run_workload(&idx, &plan, &cfg);
         assert_eq!(r.total_ops, 8_000);
@@ -226,6 +303,32 @@ mod tests {
         assert!(r.p999_us >= r.p99_us && r.p99_us >= r.p50_us);
         assert_eq!(r.failed_inserts, 0, "reserve slices are disjoint");
         assert_eq!(r.read_hits, r.reads, "every read key was loaded");
+    }
+
+    #[test]
+    fn batched_run_matches_scalar_counters() {
+        let loaded: Vec<u64> = (1..=5_000u64).map(|i| i * 2).collect();
+        let reserve: Vec<u64> = (1..=5_000u64).map(|i| i * 2 + 1).collect();
+        let pairs: Vec<(u64, u64)> = loaded.iter().map(|&k| (k, k)).collect();
+        let idx = Arc::new(RefIndex::bulk_load(&pairs));
+        let plan = WorkloadPlan::new(loaded, reserve, Mix::BALANCED, 0.99, 1);
+        let mut cfg = DriverConfig {
+            threads: 2,
+            ops_per_thread: 2_000,
+            latency_sample_every: 4,
+            batch: 0,
+        };
+        let scalar = run_workload(&idx, &plan, &cfg);
+        cfg.batch = 16;
+        let idx = Arc::new(RefIndex::bulk_load(&pairs));
+        let batched = run_workload(&idx, &plan, &cfg);
+        // Same plan, fresh index: identical op/read/hit accounting, every
+        // op executed exactly once through either path.
+        assert_eq!(batched.total_ops, scalar.total_ops);
+        assert_eq!(batched.reads, scalar.reads);
+        assert_eq!(batched.read_hits, scalar.read_hits);
+        assert_eq!(batched.failed_inserts, 0);
+        assert!(batched.mops > 0.0);
     }
 
     #[test]
@@ -238,6 +341,7 @@ mod tests {
             threads: 2,
             ops_per_thread: 200,
             latency_sample_every: 1,
+            batch: 0,
         };
         let r = run_workload(&idx, &plan, &cfg);
         assert_eq!(r.total_ops, 400);

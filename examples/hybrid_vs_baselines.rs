@@ -51,6 +51,7 @@ fn main() {
             threads,
             ops_per_thread: 100_000,
             latency_sample_every: 8,
+            batch: 0,
         };
         let r = run_workload(&idx, &plan, &cfg);
         println!(

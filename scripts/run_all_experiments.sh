@@ -11,6 +11,9 @@ OPS=${OPS:-50k}
 # Construction thread counts the bulk_build sweep records (serial
 # baseline first; see results/BENCH_bulk_build.json).
 BUILD_THREADS=${BUILD_THREADS:-1,2,4,8}
+# Batch widths the batch_lookup sweep records (width 1 = scalar
+# baseline; see results/BENCH_batch_lookup.json).
+BATCH_WIDTHS=${BATCH_WIDTHS:-1,8,16,32,64}
 BIN=target/release
 
 run() {
@@ -35,4 +38,8 @@ run bulk_build --keys "$KEYS" --build-threads "$BUILD_THREADS"
 # per line — the shape scripts/summarize_results.py parses).
 grep '#json' "results/bulk_build$SUFFIX.txt" | sed 's/^#json //' \
     > "results/BENCH_bulk_build$SUFFIX.json"
+run batch_lookup --keys "$KEYS" --ops "$OPS" --batch-width "$BATCH_WIDTHS"
+# The machine-readable batched-lookup baseline (same JSON-lines shape).
+grep '#json' "results/batch_lookup$SUFFIX.txt" | sed 's/^#json //' \
+    > "results/BENCH_batch_lookup$SUFFIX.json"
 echo "ALL EXPERIMENTS DONE"

@@ -1,0 +1,179 @@
+//! Batch-equivalence suite: the correctness anchor of the batched
+//! lookup path. For every index in the registry, any key set (present,
+//! absent, and removed keys mixed), and any batch width — including the
+//! degenerate widths 0 and 1, the ring boundary, and widths that don't
+//! divide the key count — `get_batch` must return exactly what a
+//! sequential loop of `get`s over the same keys returns on a quiescent
+//! index. (Under concurrency the guarantee weakens to per-key
+//! linearizability; that side is covered by the batched chaos schedules
+//! in `tests/chaos_schedules.rs`.)
+//!
+//! This exercises the three distinct implementations behind the trait
+//! method: the default sequential fallback, the baselines'
+//! group-prefetch pass, and the AMAC rings of `art::batch` /
+//! `alt_index`'s two-tier engine (learned hits, ART handoffs via fast
+//! pointers, tombstones from removals, write-back on).
+
+use alt_index::AltIndex;
+use art::Art;
+use baselines::{AlexLike, FinedexLike, LippLike, XIndexLike};
+use datasets::{generate_pairs, Dataset};
+use index_api::{BulkLoad, ConcurrentIndex};
+use proptest::prelude::*;
+
+/// Batch widths pinned by the ISSUE: degenerate, scalar, around the
+/// AMAC ring boundary (`art::RING_WIDTH` = 8), and non-dividing.
+const WIDTHS: [usize; 6] = [0, 1, 7, 8, 9, 61];
+
+/// Build the lookup key stream: a deterministic mix of loaded keys,
+/// removed keys, near-miss neighbours, far-absent keys, and the
+/// reserved key 0.
+fn lookup_keys(pairs: &[(u64, u64)], removed: &[u64], n: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed | 1;
+    let mut rng = move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|i| {
+            let r = rng();
+            match i % 5 {
+                0 | 1 => pairs[(r as usize) % pairs.len()].0,
+                2 if !removed.is_empty() => removed[(r as usize) % removed.len()],
+                2 | 3 => pairs[(r as usize) % pairs.len()].0 + 1 + (r % 3),
+                _ => {
+                    if r % 7 == 0 {
+                        0
+                    } else {
+                        r | (1 << 63)
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// The core check: for each pinned width, chunked `get_batch` over the
+/// stream equals the scalar `get` loop, and entries past `keys.len()`
+/// in an oversized buffer are left untouched.
+fn assert_batch_equivalent<I: ConcurrentIndex + ?Sized>(idx: &I, keys: &[u64], label: &str) {
+    let expect: Vec<Option<u64>> = keys.iter().map(|&k| idx.get(k)).collect();
+    for &w in &WIDTHS {
+        if w == 0 {
+            let mut out = [Some(0xD0A7u64); 1];
+            idx.get_batch(&[], &mut out);
+            assert_eq!(out[0], Some(0xD0A7), "{label}: width 0 touched out");
+            continue;
+        }
+        // Oversized buffer with a sentinel in the extra tail slot.
+        let mut out = vec![Some(0xD0A7u64); w + 1];
+        let mut got = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(w) {
+            out[..w + 1].fill(Some(0xD0A7));
+            idx.get_batch(chunk, &mut out);
+            got.extend_from_slice(&out[..chunk.len()]);
+            for (j, o) in out.iter().enumerate().skip(chunk.len()) {
+                assert_eq!(
+                    *o,
+                    Some(0xD0A7),
+                    "{label}: width {w} wrote past keys.len() at {j}"
+                );
+            }
+        }
+        assert_eq!(got, expect, "{label}: width {w} diverged from scalar gets");
+    }
+}
+
+/// One full scenario over a freshly built index: remove a slice of keys
+/// (creating tombstones/ART churn where the index has them), then check
+/// every width.
+fn run_scenario<I: ConcurrentIndex + BulkLoad>(
+    name: &str,
+    ds: Dataset,
+    n: usize,
+    seed: u64,
+    remove_every: usize,
+) {
+    let pairs = generate_pairs(ds, n, seed);
+    let idx = I::bulk_load(&pairs);
+    let removed: Vec<u64> = pairs
+        .iter()
+        .step_by(remove_every.max(2))
+        .map(|p| p.0)
+        .inspect(|&k| {
+            idx.remove(k);
+        })
+        .collect();
+    let keys = lookup_keys(&pairs, &removed, 700, seed ^ 0xABCD);
+    let label = format!("{name} {} n={n} seed={seed}", ds.name());
+    assert_batch_equivalent(&idx, &keys, &label);
+}
+
+/// CI runs this suite at a reduced case count (`BATCH_EQUIV_CASES`); the
+/// default is sized for the tier-1 `cargo test` budget.
+fn cases() -> ProptestConfig {
+    ProptestConfig::with_cases(
+        std::env::var("BATCH_EQUIV_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(12),
+    )
+}
+
+fn shape() -> impl Strategy<Value = Dataset> {
+    prop_oneof![
+        Just(Dataset::Osm),
+        Just(Dataset::Fb),
+        Just(Dataset::Longlat),
+    ]
+}
+
+macro_rules! batch_equivalence_props {
+    ($($test:ident: $ty:ty, $name:literal;)*) => {
+        proptest! {
+            #![proptest_config(cases())]
+            $(
+                #[test]
+                fn $test(
+                    ds in shape(),
+                    n in 1024usize..6144,
+                    seed in 0u64..1_000_000,
+                    remove_every in 2usize..32,
+                ) {
+                    run_scenario::<$ty>($name, ds, n, seed, remove_every);
+                }
+            )*
+        }
+    };
+}
+
+batch_equivalence_props! {
+    alt_batch_matches_scalar: AltIndex, "alt";
+    art_batch_matches_scalar: Art, "art";
+    alex_batch_matches_scalar: AlexLike, "alex";
+    lipp_batch_matches_scalar: LippLike, "lipp";
+    xindex_batch_matches_scalar: XIndexLike, "xindex";
+    finedex_batch_matches_scalar: FinedexLike, "finedex";
+}
+
+/// The trait-object path (what the bench driver uses) goes through the
+/// same overrides.
+#[test]
+fn batch_via_trait_objects() {
+    let pairs = generate_pairs(Dataset::Osm, 8_000, 9);
+    let indexes: Vec<Box<dyn ConcurrentIndex>> = vec![
+        Box::new(AltIndex::bulk_load(&pairs)),
+        Box::new(Art::bulk_load(&pairs)),
+        Box::new(AlexLike::bulk_load(&pairs)),
+        Box::new(LippLike::bulk_load(&pairs)),
+        Box::new(XIndexLike::bulk_load(&pairs)),
+        Box::new(FinedexLike::bulk_load(&pairs)),
+    ];
+    let keys = lookup_keys(&pairs, &[], 500, 0x5EED);
+    for idx in &indexes {
+        assert_batch_equivalent(idx.as_ref(), &keys, idx.name());
+    }
+}

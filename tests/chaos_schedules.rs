@@ -34,17 +34,30 @@ fn seed_base() -> u64 {
 /// Run `SEEDS` scenarios against freshly-built `I` indexes, alternating
 /// partition modes, and panic with the oracle report on any violation.
 fn sweep<I: BulkLoad + index_api::ConcurrentIndex>(label: &str) {
-    let base = seed_base();
+    sweep_batched::<I>(label, 0);
+}
+
+/// Like [`sweep`], with runs of consecutive gets issued through
+/// `get_batch` at `batch_width` — the oracle holds every batched read to
+/// per-key linearizability against the concurrent insert/remove/retrain
+/// churn. The seed window is offset so batched runs explore different
+/// schedules than the scalar sweep.
+fn sweep_batched<I: BulkLoad + index_api::ConcurrentIndex>(label: &str, batch_width: usize) {
+    let base = seed_base() + if batch_width > 0 { 40_000 } else { 0 };
     for s in 0..SEEDS {
         let seed = base + s;
-        let scenario = if s % 2 == 0 {
+        let mut scenario = if s % 2 == 0 {
             Scenario::disjoint(seed)
         } else {
             Scenario::shared(seed)
         };
+        scenario.batch_width = batch_width;
         let idx = I::bulk_load(&scenario.initial_pairs());
         if let Err(report) = scenario.run(&idx) {
-            panic!("{label} seed {seed} ({:?}): {report}", scenario.partition);
+            panic!(
+                "{label} seed {seed} ({:?}, batch {batch_width}): {report}",
+                scenario.partition
+            );
         }
     }
 }
@@ -91,6 +104,32 @@ fn chaos_alt_index_parallel_built() {
 #[test]
 fn chaos_art() {
     sweep::<Art>("art");
+}
+
+/// Batched-lookup chaos: the same oracle-checked sweeps with reads going
+/// through the AMAC engines (AltIndex two-tier ring, ART interleaved
+/// descents) at the ring width, concurrent with inserts, removes,
+/// upserts, scans, and retrains. Every batched result must still be
+/// per-key linearizable.
+#[test]
+fn chaos_alt_index_batched() {
+    sweep_batched::<AltIndex>("alt-index", art::RING_WIDTH);
+}
+
+#[test]
+fn chaos_art_batched() {
+    sweep_batched::<Art>("art", art::RING_WIDTH);
+}
+
+/// The baselines' group-prefetch batch path under the same oracle (also
+/// covers the `index-api` default implementation shape: sequential gets
+/// behind one call).
+#[test]
+fn chaos_baselines_batched() {
+    sweep_batched::<AlexLike>("alex+", 16);
+    sweep_batched::<LippLike>("lipp+", 16);
+    sweep_batched::<XIndexLike>("xindex", 16);
+    sweep_batched::<FinedexLike>("finedex", 16);
 }
 
 #[test]
