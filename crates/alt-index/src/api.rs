@@ -1,48 +1,48 @@
 //! [`index_api::ConcurrentIndex`] / [`index_api::BulkLoad`] adapters so
 //! the benchmark harness drives ALT-index uniformly with the baselines.
 
-use crate::index::AltIndex;
+use crate::index::{AltCore, AltIndex};
 use index_api::{BulkLoad, ConcurrentIndex, Key, Result, Value};
 
 impl ConcurrentIndex for AltIndex {
     fn get(&self, key: Key) -> Option<Value> {
-        AltIndex::get(self, key)
+        AltCore::get(&self.core, key)
     }
 
     fn insert(&self, key: Key, value: Value) -> Result<()> {
-        AltIndex::insert(self, key, value)
+        AltCore::insert(&self.core, key, value)
     }
 
     fn update(&self, key: Key, value: Value) -> Result<()> {
-        AltIndex::update(self, key, value)
+        AltCore::update(&self.core, key, value)
     }
 
     fn upsert(&self, key: Key, value: Value) -> Result<()> {
-        AltIndex::upsert(self, key, value)
+        AltCore::upsert(&self.core, key, value)
     }
 
     fn remove(&self, key: Key) -> Option<Value> {
-        AltIndex::remove(self, key)
+        AltCore::remove(&self.core, key)
     }
 
     fn get_batch(&self, keys: &[Key], out: &mut [Option<Value>]) {
-        AltIndex::get_batch_amac(self, keys, out)
+        AltCore::get_batch_amac(&self.core, keys, out)
     }
 
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {
-        AltIndex::range(self, lo, hi, out)
+        AltCore::range(&self.core, lo, hi, out)
     }
 
     fn scan(&self, lo: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
-        AltIndex::scan_n(self, lo, n, out)
+        AltCore::scan_n(&self.core, lo, n, out)
     }
 
     fn memory_usage(&self) -> usize {
-        AltIndex::memory_usage(self)
+        AltCore::memory_usage(&self.core)
     }
 
     fn len(&self) -> usize {
-        AltIndex::len(self)
+        AltCore::len(&self.core)
     }
 
     fn name(&self) -> &'static str {

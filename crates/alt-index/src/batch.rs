@@ -27,7 +27,7 @@
 //! validation; it never skips a validation, so each result is one some
 //! scalar `get` interleaved at the same instants could have returned.
 
-use crate::index::AltIndex;
+use crate::index::AltCore;
 use crate::model::{GplModel, NO_FAST};
 use crate::slots::SlotState;
 use art::{BatchCursor, BatchStep, RING_WIDTH};
@@ -59,7 +59,7 @@ struct Flight<'g> {
     stage: Stage<'g>,
 }
 
-impl AltIndex {
+impl AltCore {
     /// Batched point lookup over the AMAC ring: `out[i] = get(keys[i])`
     /// with up to [`RING_WIDTH`] lookups in flight, their directory,
     /// slot, and ART-node misses overlapped by software prefetching.
@@ -105,7 +105,7 @@ impl AltIndex {
 /// ring slot.
 #[inline]
 fn fill<'g>(
-    idx: &AltIndex,
+    idx: &AltCore,
     keys: &[u64],
     out: &mut [Option<u64>],
     next: &mut usize,
@@ -126,7 +126,7 @@ fn fill<'g>(
 /// Start (or restart) a key at the predict stage: locate its model,
 /// prefetch the predicted slot line.
 #[inline]
-fn admit<'g>(idx: &AltIndex, ki: usize, key: u64, guard: &'g Guard) -> Flight<'g> {
+fn admit<'g>(idx: &AltCore, ki: usize, key: u64, guard: &'g Guard) -> Flight<'g> {
     let mut fl = Flight {
         ki,
         key,
@@ -144,7 +144,7 @@ fn admit<'g>(idx: &AltIndex, ki: usize, key: u64, guard: &'g Guard) -> Flight<'g
 /// Recompute the key's (model, predicted slot) from the current
 /// directory and issue the slot prefetch.
 #[inline]
-fn restage<'g>(idx: &AltIndex, fl: &mut Flight<'g>, guard: &'g Guard) {
+fn restage<'g>(idx: &AltCore, fl: &mut Flight<'g>, guard: &'g Guard) {
     let dir = idx.dir_ref(guard);
     let m: &'g GplModel = dir.model_for(fl.key);
     let pred = m.predict(fl.key);
@@ -156,7 +156,7 @@ fn restage<'g>(idx: &AltIndex, fl: &mut Flight<'g>, guard: &'g Guard) {
 /// A failed validation: charge the key's budget, then either escalate to
 /// the conclusive pessimistic lookup or send the key back to the predict
 /// stage (the directory may have been republished).
-fn restart<'g>(idx: &AltIndex, fl: &mut Flight<'g>, guard: &'g Guard) -> Option<Option<u64>> {
+fn restart<'g>(idx: &AltCore, fl: &mut Flight<'g>, guard: &'g Guard) -> Option<Option<u64>> {
     crate::metrics_hook::batch_restart();
     if crate::contention::wait_or_escalate_with(&mut fl.retry, &idx.cfg.contention) {
         return Some(idx.get_pessimistic(fl.key));
@@ -167,7 +167,7 @@ fn restart<'g>(idx: &AltIndex, fl: &mut Flight<'g>, guard: &'g Guard) -> Option<
 
 /// Advance one flight by one stage. `Some(result)` retires the key.
 #[inline]
-fn step<'g>(idx: &AltIndex, fl: &mut Flight<'g>, guard: &'g Guard) -> Option<Option<u64>> {
+fn step<'g>(idx: &AltCore, fl: &mut Flight<'g>, guard: &'g Guard) -> Option<Option<u64>> {
     crate::chaos_hook::point("batch.stage");
     match &mut fl.stage {
         Stage::Probe { m, pred } => {
@@ -236,7 +236,7 @@ fn step<'g>(idx: &AltIndex, fl: &mut Flight<'g>, guard: &'g Guard) -> Option<Opt
                 }
                 // The cursor's budget ran out: the scalar path owns the
                 // guaranteed-progress escalation chain.
-                BatchStep::Escalate => Some(AltIndex::get(idx, fl.key)),
+                BatchStep::Escalate => Some(AltCore::get(idx, fl.key)),
             }
         }
     }
@@ -247,7 +247,7 @@ fn step<'g>(idx: &AltIndex, fl: &mut Flight<'g>, guard: &'g Guard) -> Option<Opt
 /// `AltIndex::art_get`'s jump path, minus its hit/de-opt accounting —
 /// the handoff split is recorded by the caller).
 #[inline]
-fn fast_cursor(idx: &AltIndex, m: &GplModel, key: u64) -> BatchCursor {
+fn fast_cursor(idx: &AltCore, m: &GplModel, key: u64) -> BatchCursor {
     if idx.cfg.fast_pointers && key >= m.first_key {
         let fs = m.fast();
         if fs != NO_FAST {

@@ -21,7 +21,14 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// The ALT-index: a concurrent hybrid learned index over `u64 -> u64`.
+/// The ALT-index handle: a concurrent hybrid learned index over
+/// `u64 -> u64`.
+///
+/// All index operations live on [`AltCore`], reached through `Deref`;
+/// this wrapper additionally owns the background retrain worker pool
+/// when [`RetrainMode::Background`](crate::config::RetrainMode) is
+/// configured, so dropping the index shuts the workers down before the
+/// core is torn down.
 ///
 /// ```
 /// use alt_index::AltIndex;
@@ -32,6 +39,51 @@ use std::sync::Arc;
 /// assert_eq!(idx.get(5), Some(99));
 /// ```
 pub struct AltIndex {
+    // Field order is load-bearing: the scheduler handle drops first,
+    // signalling shutdown and joining every worker (each holds only a
+    // `Weak<AltCore>`), so the core's teardown below never races a
+    // live worker.
+    // Held only for its Drop (shutdown + join the worker pool).
+    #[allow(dead_code)]
+    sched: Option<crate::sched::SchedHandle>,
+    pub(crate) core: Arc<AltCore>,
+}
+
+impl std::ops::Deref for AltIndex {
+    type Target = AltCore;
+    fn deref(&self) -> &AltCore {
+        &self.core
+    }
+}
+
+impl AltIndex {
+    /// Build over sorted, unique pairs (no key 0) with explicit
+    /// configuration.
+    pub fn bulk_load_with(pairs: &[(u64, u64)], cfg: AltConfig) -> Self {
+        let bg = cfg.retrain && cfg.retrain_mode == crate::config::RetrainMode::Background;
+        let shared = bg.then(|| Arc::new(crate::sched::SchedShared::new(cfg.bg_retrain.clone())));
+        let core = Arc::new(AltCore::build(pairs, cfg, shared.clone()));
+        let sched = shared.map(|sh| crate::sched::spawn_workers(sh, Arc::downgrade(&core)));
+        Self { sched, core }
+    }
+
+    /// Build with the default configuration.
+    pub fn bulk_load_default(pairs: &[(u64, u64)]) -> Self {
+        Self::bulk_load_with(pairs, AltConfig::default())
+    }
+
+    /// An empty index (everything bootstraps through inserts + retrain).
+    pub fn new(cfg: AltConfig) -> Self {
+        Self::bulk_load_with(&[], cfg)
+    }
+}
+
+/// The index state and every operation on it: the model directory over
+/// gapped slot arrays, the ART-OPT conflict layer, and the fast-pointer
+/// buffer. [`AltIndex`] wraps this in an `Arc` so background retrain
+/// workers can hold weak references; user code reaches it through the
+/// wrapper's `Deref`.
+pub struct AltCore {
     pub(crate) dir: Atomic<ModelDir>,
     pub(crate) art: Arc<Art>,
     pub(crate) buffer: Arc<FastPointerBuffer>,
@@ -52,12 +104,18 @@ pub struct AltIndex {
     /// unchanged epoch proves no retrain published (and therefore no
     /// ART absorption started a new generation) mid-scan.
     pub(crate) dir_epoch: AtomicUsize,
+    /// Background retrain queue (present only in background mode; the
+    /// worker pool itself is owned by [`AltIndex`]).
+    pub(crate) sched: Option<Arc<crate::sched::SchedShared>>,
 }
 
-impl AltIndex {
-    /// Build over sorted, unique pairs (no key 0) with explicit
-    /// configuration.
-    pub fn bulk_load_with(pairs: &[(u64, u64)], cfg: AltConfig) -> Self {
+impl AltCore {
+    /// Construct the core (shared by every [`AltIndex`] constructor).
+    fn build(
+        pairs: &[(u64, u64)],
+        cfg: AltConfig,
+        sched: Option<Arc<crate::sched::SchedShared>>,
+    ) -> Self {
         index_api::debug_validate_bulk_input(pairs);
         let epsilon = cfg.effective_epsilon(pairs.len());
         let buffer = Arc::new(FastPointerBuffer::new());
@@ -100,19 +158,10 @@ impl AltIndex {
             retrains: AtomicUsize::new(0),
             retrain_attempts: AtomicUsize::new(0),
             dir_epoch: AtomicUsize::new(0),
+            sched,
         };
         idx.register_all_fast_pointers(threads);
         idx
-    }
-
-    /// Build with the default configuration.
-    pub fn bulk_load_default(pairs: &[(u64, u64)]) -> Self {
-        Self::bulk_load_with(pairs, AltConfig::default())
-    }
-
-    /// An empty index (everything bootstraps through inserts + retrain).
-    pub fn new(cfg: AltConfig) -> Self {
-        Self::bulk_load_with(&[], cfg)
     }
 
     /// The configuration this index was built with.
@@ -397,7 +446,7 @@ impl AltIndex {
         if res.is_ok() {
             self.len.fetch_add(1, Ordering::Relaxed);
             if want_retrain {
-                self.maybe_retrain(key);
+                self.trigger_retrain(key);
             }
         }
         res
@@ -706,7 +755,7 @@ impl AltIndex {
     }
 }
 
-impl Drop for AltIndex {
+impl Drop for AltCore {
     fn drop(&mut self) {
         // SAFETY: mirrors the `dir_ref` invariant ("the directory is
         // always initialized and only replaced under `dir_lock` with

@@ -41,6 +41,7 @@
 // adaptors would obscure the byte-position math.
 #![allow(clippy::needless_range_loop)]
 
+mod adapt;
 mod api;
 mod batch;
 pub(crate) mod chaos_hook;
@@ -53,10 +54,11 @@ pub(crate) mod metrics_hook;
 pub mod model;
 pub mod retrain;
 pub mod scan;
+pub(crate) mod sched;
 pub mod slots;
 pub mod spin;
 pub mod stats;
 
-pub use config::{default_build_threads, AltConfig};
-pub use index::AltIndex;
+pub use config::{default_build_threads, AltConfig, BgRetrainPolicy, RetrainMode};
+pub use index::{AltCore, AltIndex};
 pub use stats::{AltStats, ArtProbe};

@@ -63,6 +63,25 @@ mod real {
         obs::incr(Counter::RetrainSkippedBusy);
     }
     #[inline]
+    pub(crate) fn retrain_bg_enqueued() {
+        obs::incr(Counter::RetrainBgEnqueued);
+    }
+    #[inline]
+    pub(crate) fn retrain_bg_dropped() {
+        obs::incr(Counter::RetrainBgDropped);
+    }
+    #[inline]
+    pub(crate) fn retrain_bg_drained() {
+        obs::incr(Counter::RetrainBgDrained);
+    }
+    /// Process-wide escalation pressure feeding the background retrain
+    /// queue's priorities: spans congested enough to force pessimistic
+    /// fallbacks drain first.
+    #[inline]
+    pub(crate) fn escalation_pressure() -> u64 {
+        obs::total(Counter::AltEscalation)
+    }
+    #[inline]
     pub(crate) fn escalation() {
         obs::incr(Counter::AltEscalation);
     }
@@ -127,6 +146,13 @@ mod real {
             obs::clock::now_ns().saturating_sub(t0),
         );
     }
+    #[inline]
+    pub(crate) fn retrain_reconcile_done(t0: u64) {
+        obs::record_phase_ns(
+            Phase::RetrainReconcile,
+            obs::clock::now_ns().saturating_sub(t0),
+        );
+    }
 }
 
 #[cfg(not(feature = "metrics"))]
@@ -158,6 +184,16 @@ mod real {
     #[inline(always)]
     pub(crate) fn retrain_skipped_busy() {}
     #[inline(always)]
+    pub(crate) fn retrain_bg_enqueued() {}
+    #[inline(always)]
+    pub(crate) fn retrain_bg_dropped() {}
+    #[inline(always)]
+    pub(crate) fn retrain_bg_drained() {}
+    #[inline(always)]
+    pub(crate) fn escalation_pressure() -> u64 {
+        0
+    }
+    #[inline(always)]
     pub(crate) fn escalation() {}
     #[inline(always)]
     pub(crate) fn backoff_transition(_tier: resilience::Tier) {}
@@ -185,6 +221,8 @@ mod real {
     pub(crate) fn retrain_swap_done(_t0: u64) {}
     #[inline(always)]
     pub(crate) fn retrain_cleanup_done(_t0: u64) {}
+    #[inline(always)]
+    pub(crate) fn retrain_reconcile_done(_t0: u64) {}
 }
 
 pub(crate) use real::*;

@@ -10,12 +10,26 @@
 //! If the retrained model was the last one, re-segmentation naturally
 //! grows new tail models for out-of-range insertions.
 
-use crate::index::{segment_and_build, AltIndex};
-use crate::model::NO_FAST;
+use crate::adapt::plan_retrain;
+use crate::index::{segment_and_build, AltCore};
+use crate::model::{GplModel, NO_FAST};
+use crate::slots::SlotState;
 use crossbeam_epoch as epoch;
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-impl AltIndex {
+/// One span's data captured under the model's write lock: live slot
+/// entries, the span's ART residents, and their merge (slot copy wins
+/// on the rare double-presence — write-back deletes the ART copy on
+/// sight anyway). All three are key-sorted.
+struct SpanSnapshot {
+    slot_pairs: Vec<(u64, u64)>,
+    art_pairs: Vec<(u64, u64)>,
+    merged: Vec<(u64, u64)>,
+}
+
+impl AltCore {
     /// Number of completed retrains (Fig 8(b) hot-write diagnostics).
     pub fn retrain_count(&self) -> usize {
         self.retrains.load(Ordering::Relaxed)
@@ -23,10 +37,61 @@ impl AltIndex {
 
     /// Number of retrain attempts that got past the trigger checks,
     /// whether or not they published a new directory. An attempt count
-    /// racing far ahead of [`AltIndex::retrain_count`] means the trigger
+    /// racing far ahead of [`AltCore::retrain_count`] means the trigger
     /// accounting is broken (e.g. an overflow counter that never resets).
     pub fn retrain_attempt_count(&self) -> usize {
         self.retrain_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Wait until every queued and in-flight background retrain has
+    /// finished. A no-op in inline mode — inline retrains complete
+    /// before the triggering insert returns.
+    pub fn retrain_quiesce(&self) {
+        if let Some(s) = &self.sched {
+            s.quiesce();
+        }
+    }
+
+    /// Post-insert retrain dispatch: retrain inline (the paper's
+    /// behaviour) or enqueue a prioritized request for the background
+    /// worker pool, depending on
+    /// [`retrain_mode`](crate::config::AltConfig::retrain_mode).
+    pub(crate) fn trigger_retrain(&self, key: u64) {
+        let Some(sched) = &self.sched else {
+            return self.maybe_retrain(key);
+        };
+        let guard = epoch::pin();
+        let m = self.dir_ref(&guard).model_for(key);
+        if m.is_retired() || !m.wants_retrain() {
+            return;
+        }
+        // Priority = the span's overflow pressure (scaled so a span at
+        // exactly its trigger threshold scores 256), boosted by the
+        // process-wide escalation pressure the obs counters record —
+        // spans whose congestion is already forcing pessimistic
+        // fallbacks drain first.
+        let overflow = m.art_inserts.load(Ordering::Relaxed) as u64;
+        let pressure = overflow.saturating_mul(256) / m.build_size.max(16) as u64;
+        let priority = pressure.saturating_add(crate::metrics_hook::escalation_pressure());
+        sched.enqueue(m.first_key, key, priority);
+    }
+
+    /// Collect the span of `dir.models[mi]`: live slots + the ART range.
+    /// The caller must hold the model's `op_lock` write side (writers
+    /// quiesced) and `dir_lock` (directory frozen).
+    fn collect_span(&self, dir: &crate::dir::ModelDir, mi: usize, m: &GplModel) -> SpanSnapshot {
+        let mut slot_pairs: Vec<(u64, u64)> = Vec::with_capacity(m.build_size);
+        m.slots.for_each_live(|_, k, v| slot_pairs.push((k, v)));
+        let lo = if mi == 0 { 1 } else { m.first_key };
+        let hi = dir.upper_bound(mi).map(|u| u - 1).unwrap_or(u64::MAX);
+        let mut art_pairs: Vec<(u64, u64)> = Vec::new();
+        self.art.range(lo, hi, &mut art_pairs);
+        let merged = merge_pairs(&slot_pairs, &art_pairs);
+        SpanSnapshot {
+            slot_pairs,
+            art_pairs,
+            merged,
+        }
     }
 
     /// Attempt to retrain the model covering `key_hint`. Quietly returns
@@ -57,17 +122,12 @@ impl AltIndex {
         let _wl = m.op_lock.write();
         let t_collect = crate::metrics_hook::now_ns();
 
-        // Collect the span's data: live slots + the ART range.
-        let mut slot_pairs: Vec<(u64, u64)> = Vec::with_capacity(m.build_size);
-        m.slots.for_each_live(|_, k, v| slot_pairs.push((k, v)));
-        let lo = if mi == 0 { 1 } else { m.first_key };
-        let hi = dir.upper_bound(mi).map(|u| u - 1).unwrap_or(u64::MAX);
-        let mut art_pairs: Vec<(u64, u64)> = Vec::new();
-        self.art.range(lo, hi, &mut art_pairs);
-
-        // Merge (both sides sorted); on the rare double-presence the slot
-        // copy wins (write-back deletes the ART copy on sight anyway).
-        let merged = merge_pairs(&slot_pairs, &art_pairs);
+        let snap = self.collect_span(dir, mi, m);
+        let SpanSnapshot {
+            slot_pairs,
+            art_pairs,
+            merged,
+        } = snap;
         crate::metrics_hook::retrain_collect_done(t_collect);
         if merged.is_empty() {
             // Everything in the span was removed; nothing to refactor.
@@ -82,12 +142,18 @@ impl AltIndex {
         }
 
         let t_build = crate::metrics_hook::now_ns();
-        let expansions = m.expansions.saturating_add(1);
+        let plan = plan_retrain(
+            &merged,
+            art_pairs.len(),
+            self.epsilon,
+            m.expansions,
+            self.cfg.adaptive_retrain,
+        );
         let (models, conflicts) = segment_and_build(
             &merged,
-            self.epsilon,
+            plan.epsilon,
             self.cfg.gap_factor,
-            expansions,
+            plan.expansions,
             Some(m.first_key),
         );
 
@@ -162,6 +228,229 @@ impl AltIndex {
         crate::metrics_hook::retrain_cleanup_done(t_cleanup);
         self.retrains.fetch_add(1, Ordering::Relaxed);
         crate::metrics_hook::retrain_completed();
+    }
+
+    /// Two-phase retrain run by a background worker (§III-F moved off
+    /// the hot path).
+    ///
+    /// The inline path holds the model's `op_lock` write side across
+    /// collect *and* build, so writers to the span stall for the whole
+    /// GPL re-segmentation. Here the write lock is taken twice, briefly:
+    ///
+    /// 1. **Collect** — snapshot the span (slots + ART range), then
+    ///    release the write lock. Writers resume against the *old*
+    ///    layout while the new models are built from the snapshot.
+    /// 2. **Reconcile + publish** — re-take the write lock, re-collect,
+    ///    and diff the two snapshots: every key inserted, updated, or
+    ///    removed during the build is applied to the still-private new
+    ///    models (or to the conflict set). Then the usual publish
+    ///    sequence runs: conflicts into ART, fast pointers, epoch bump,
+    ///    RCU swap, retire, absorb.
+    ///
+    /// The swap is race-free off-thread for the same reasons it is
+    /// inline: `dir_lock` (held throughout) freezes the directory and
+    /// serializes structural changes; both collect windows run under
+    /// the model's write lock, so each snapshot is a quiesced image of
+    /// the span; and the epoch bump before the swap sends concurrent
+    /// scans into their re-read loop exactly as an inline retrain
+    /// would. Readers never block: they follow `retired` to the new
+    /// directory once published. The one new obligation is that the
+    /// delta application preserves the reader invariant "an ART-
+    /// resident key's predicted slot is never Empty" — it does, because
+    /// delta-removes leave tombstones (not empties) and delta-conflicts
+    /// point at occupied slots.
+    pub(crate) fn retrain_background(&self, key_hint: u64) {
+        if !self.cfg.retrain {
+            return;
+        }
+        // Workers serialize on `dir_lock` like every structural change;
+        // blocking (not `try_lock`) is fine off the hot path and means a
+        // drained request is never silently lost to a racing escalation.
+        let _dl = self.dir_lock.lock();
+        let guard = epoch::pin();
+        let dir = self.dir_ref(&guard);
+        let mi = dir.locate(key_hint);
+        let m = &dir.models[mi];
+        if m.is_retired() || !m.wants_retrain() {
+            return;
+        }
+        self.retrain_attempts.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::retrain_attempt();
+
+        // Phase 1: snapshot under a short writer stall, then let writers
+        // back in for the build.
+        let t_collect = crate::metrics_hook::now_ns();
+        let before = {
+            let _wl = m.op_lock.write();
+            self.collect_span(dir, mi, m)
+        };
+        crate::metrics_hook::retrain_collect_done(t_collect);
+        if before.merged.is_empty() {
+            // As in the inline path: span emptied, reset the trigger.
+            m.art_inserts.store(0, Ordering::Relaxed);
+            crate::metrics_hook::retrain_empty_span();
+            return;
+        }
+
+        // Build off the write lock: concurrent inserts/updates/removes
+        // proceed against the old layout and are reconciled below.
+        let t_build = crate::metrics_hook::now_ns();
+        let plan = plan_retrain(
+            &before.merged,
+            before.art_pairs.len(),
+            self.epsilon,
+            m.expansions,
+            self.cfg.adaptive_retrain,
+        );
+        let (models, conflicts) = segment_and_build(
+            &before.merged,
+            plan.epsilon,
+            self.cfg.gap_factor,
+            plan.expansions,
+            Some(m.first_key),
+        );
+        // Mutable conflict set: the delta below may add (new collisions)
+        // or drop (conflicted keys removed mid-build) entries.
+        let mut conflict_map: BTreeMap<u64, u64> = conflicts.into_iter().collect();
+        crate::metrics_hook::retrain_build_done(t_build);
+
+        // Phase 2: writers stalled again for reconcile + publish.
+        let _wl = m.op_lock.write();
+        let t_reconcile = crate::metrics_hook::now_ns();
+        let after = self.collect_span(dir, mi, m);
+        apply_delta(&models, &before.merged, &after.merged, &mut conflict_map);
+        crate::metrics_hook::retrain_reconcile_done(t_reconcile);
+
+        // Every still-conflicting key must be reachable through ART
+        // before the swap so no reader window misses it. (Keys that
+        // conflicted at build time and were already ART residents are
+        // re-upserted with their current value — a no-op.)
+        for (&k, &v) in &conflict_map {
+            self.art.upsert(k, v);
+        }
+
+        // Fast pointers for the new models (reusing entries via the
+        // merge scheme), exactly as inline.
+        if self.cfg.fast_pointers {
+            let next_after = dir.upper_bound(mi);
+            for (i, nm) in models.iter().enumerate() {
+                let upper = models.get(i + 1).map(|n| n.first_key).or(next_after);
+                let slot = match upper {
+                    Some(u) => self.buffer.register(&self.art, nm.first_key, u),
+                    None => NO_FAST,
+                };
+                nm.fast_slot.store(slot, Ordering::Release);
+            }
+        }
+
+        let t_swap = crate::metrics_hook::now_ns();
+        let new_dir = dir.replace(mi, models);
+        self.dir_epoch.fetch_add(1, Ordering::Release);
+        crate::chaos_hook::point("retrain.bg.swap");
+        crate::chaos_hook::point("retrain.pre_swap");
+        let old = self
+            .dir
+            .swap(epoch::Owned::new(new_dir), Ordering::AcqRel, &guard);
+        // SAFETY: `old` was just unlinked under `dir_lock`; readers still
+        // holding it are protected by their epoch pins.
+        unsafe { guard.defer_destroy(old) };
+        crate::chaos_hook::point("retrain.post_swap");
+        m.retired.store(true, Ordering::Release);
+        crate::metrics_hook::retrain_swap_done(t_swap);
+        let t_cleanup = crate::metrics_hook::now_ns();
+
+        // Absorb pass over the *phase-2* ART snapshot: every span key
+        // still in ART that the new slots absorbed gets deleted; the
+        // still-conflicting ones stay.
+        for &(k, _) in &after.art_pairs {
+            if !conflict_map.contains_key(&k) {
+                crate::chaos_hook::point("retrain.absorb_remove");
+                self.art.remove(k);
+            }
+        }
+        crate::metrics_hook::retrain_cleanup_done(t_cleanup);
+        self.retrains.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::retrain_completed();
+    }
+}
+
+/// Route `key` to the model that will own it in `models` (sorted by
+/// `first_key`; keys below the first model's span route to it, matching
+/// the directory's `model_for`).
+fn locate_new_model(models: &[Arc<GplModel>], key: u64) -> &GplModel {
+    let i = models.partition_point(|m| m.first_key <= key);
+    &models[i.saturating_sub(1)]
+}
+
+/// Apply the differences between two span snapshots (`before` feeding
+/// the build, `after` collected at publish time — both key-sorted) to
+/// the still-private new `models`.
+///
+/// * A key added or revalued during the build is placed at its
+///   predicted slot (installing over Empty/Tombstone, revaluing a same-
+///   key resident) or, if the slot holds another key, recorded in
+///   `conflict_map` for the pre-swap ART upsert.
+/// * A key removed during the build is dropped from `conflict_map` or
+///   tombstoned out of its predicted slot.
+///
+/// The models are unpublished, so slot locks are uncontended and every
+/// mutation is ordinary `with_write` traffic.
+fn apply_delta(
+    models: &[Arc<GplModel>],
+    before: &[(u64, u64)],
+    after: &[(u64, u64)],
+    conflict_map: &mut BTreeMap<u64, u64>,
+) {
+    let upsert_new = |k: u64, v: u64, conflict_map: &mut BTreeMap<u64, u64>| {
+        if let Some(slot) = conflict_map.get_mut(&k) {
+            *slot = v;
+            return;
+        }
+        let m = locate_new_model(models, k);
+        let pred = m.predict(k);
+        m.slots.with_write(pred, |g| match g.state() {
+            SlotState::Occupied { key, .. } if key == k => g.set_value(v),
+            SlotState::Empty | SlotState::Tombstone => g.install(k, v),
+            SlotState::Occupied { .. } => {
+                conflict_map.insert(k, v);
+            }
+        });
+    };
+    let remove_new = |k: u64, conflict_map: &mut BTreeMap<u64, u64>| {
+        if conflict_map.remove(&k).is_some() {
+            return;
+        }
+        let m = locate_new_model(models, k);
+        m.slots.remove_if_key(m.predict(k), k);
+    };
+
+    let (mut i, mut j) = (0, 0);
+    while i < before.len() && j < after.len() {
+        let (bk, bv) = before[i];
+        let (ak, av) = after[j];
+        match bk.cmp(&ak) {
+            std::cmp::Ordering::Less => {
+                remove_new(bk, conflict_map);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                upsert_new(ak, av, conflict_map);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if bv != av {
+                    upsert_new(ak, av, conflict_map);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(bk, _) in &before[i..] {
+        remove_new(bk, conflict_map);
+    }
+    for &(ak, av) in &after[j..] {
+        upsert_new(ak, av, conflict_map);
     }
 }
 
@@ -384,5 +673,128 @@ mod tests {
             }
         }
         assert_eq!(idx.len(), 500 + (threads * per) as usize);
+    }
+
+    #[test]
+    fn background_burst_retrains_off_hot_path() {
+        // Same hot-write burst as the inline test, but in Background
+        // mode: the inserting thread only enqueues; the worker pool does
+        // the two-phase rebuild. After quiesce, retrains happened and
+        // every key is intact.
+        let pairs: Vec<(u64, u64)> = (1..=2_000u64).map(|i| (i * 1_000, i)).collect();
+        let idx = AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(64.0),
+                ..AltConfig::background()
+            },
+        );
+        let burst: Vec<u64> = (500_001..=520_000u64).filter(|k| k % 1000 != 0).collect();
+        for &k in &burst {
+            idx.insert(k, k).unwrap();
+        }
+        idx.retrain_quiesce();
+        assert!(
+            idx.retrain_count() > 0,
+            "background workers must have retrained the hot span"
+        );
+        for &k in &burst {
+            assert_eq!(idx.get(k), Some(k), "hot key {k}");
+        }
+        for &(k, v) in &pairs {
+            assert_eq!(idx.get(k), Some(v), "bulk key {k}");
+        }
+        assert_eq!(idx.len(), 2_000 + burst.len());
+    }
+
+    #[test]
+    fn background_concurrent_mutations_during_rebuild_are_kept() {
+        // Writers keep inserting/removing while the worker rebuilds the
+        // same span off-lock — the phase-2 reconcile must fold every
+        // concurrent change into the swapped-in models.
+        let pairs: Vec<(u64, u64)> = (1..=500u64).map(|i| (i * 10_000, i)).collect();
+        let idx = Arc::new(AltIndex::bulk_load_with(
+            &pairs,
+            AltConfig {
+                epsilon: Some(32.0),
+                ..AltConfig::background()
+            },
+        ));
+        let threads = 4u64;
+        let per = 6_000u64;
+        let mut hs = Vec::new();
+        for t in 0..threads {
+            let idx = Arc::clone(&idx);
+            hs.push(std::thread::spawn(move || {
+                let base = 1_000_001 + t * per * 2;
+                for i in 0..per {
+                    let k = base + i * 2;
+                    idx.insert(k, k).unwrap();
+                    // Churn: remove every fourth key again right away,
+                    // racing any in-progress background rebuild.
+                    if i % 4 == 3 {
+                        assert_eq!(idx.remove(k), Some(k), "own remove {k}");
+                    } else {
+                        assert_eq!(idx.get(k), Some(k), "own write {k}");
+                    }
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        idx.retrain_quiesce();
+        let mut live = 0usize;
+        for t in 0..threads {
+            for i in 0..per {
+                let k = 1_000_001 + t * per * 2 + i * 2;
+                if i % 4 == 3 {
+                    assert_eq!(idx.get(k), None, "removed key {k} resurfaced");
+                } else {
+                    assert_eq!(idx.get(k), Some(k), "lost concurrent insert {k}");
+                    live += 1;
+                }
+            }
+        }
+        assert_eq!(idx.len(), 500 + live);
+    }
+
+    #[test]
+    fn background_final_state_matches_inline() {
+        // A/B: the same deterministic op sequence lands in the same final
+        // state whether retrains run inline or on the worker pool.
+        let pairs: Vec<(u64, u64)> = (1..=1_000u64).map(|i| (i * 1_000, i)).collect();
+        let run = |cfg: AltConfig| {
+            let idx = AltIndex::bulk_load_with(&pairs, cfg);
+            let mut x = 0x9e37_79b9_7f4a_7c15u64;
+            for i in 0..30_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let k = 200_001 + (x % 400_000);
+                if i % 5 == 4 {
+                    idx.remove(k);
+                } else {
+                    let _ = idx
+                        .insert(k, k ^ 0x5555)
+                        .or_else(|_| idx.update(k, k ^ 0x5555));
+                }
+            }
+            idx.retrain_quiesce();
+            let mut out = Vec::new();
+            idx.range(1, u64::MAX, &mut out);
+            (idx.len(), out)
+        };
+        let cfg = AltConfig {
+            epsilon: Some(64.0),
+            ..Default::default()
+        };
+        let (len_inline, dump_inline) = run(cfg.clone());
+        let (len_bg, dump_bg) = run(AltConfig {
+            retrain_mode: crate::config::RetrainMode::Background,
+            ..cfg
+        });
+        assert_eq!(len_inline, len_bg);
+        assert_eq!(dump_inline, dump_bg);
     }
 }

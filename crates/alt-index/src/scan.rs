@@ -6,12 +6,12 @@
 //! models themselves are sorted, so the learned-layer side of the merge
 //! is a simple forward walk.
 
-use crate::index::AltIndex;
+use crate::index::AltCore;
 use crate::slots::SlotState;
 use crossbeam_epoch as epoch;
 use std::sync::atomic::Ordering;
 
-impl AltIndex {
+impl AltCore {
     /// Append every `(key, value)` with `lo <= key <= hi`, ascending.
     /// Returns the number appended.
     ///

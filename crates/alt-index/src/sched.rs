@@ -1,0 +1,327 @@
+//! The background retrain scheduler: a budgeted worker pool draining a
+//! bounded priority queue of retrain requests.
+//!
+//! In [`RetrainMode::Background`](crate::config::RetrainMode) the
+//! inserting thread no longer pays the §III-F collect/build/swap on the
+//! hot path — it enqueues a request prioritized by the span's observed
+//! overflow pressure (plus the process-wide escalation pressure the
+//! `obs` counters record, when the `metrics` feature is on) and returns.
+//! Workers pop the highest-pressure span first, FIFO among ties, and
+//! run [`AltCore::retrain_background`](crate::index::AltCore) —
+//! the two-phase variant whose build runs *outside* the model's write
+//! lock (see `retrain.rs`).
+//!
+//! Budgeting follows the resilience crate's tiered-policy style: the
+//! queue is bounded (excess requests are shed — the next overflow
+//! insert re-enqueues), duplicate requests for a span already queued
+//! are coalesced, and an optional minimum interval throttles each
+//! worker's drain rate.
+
+use crate::config::BgRetrainPolicy;
+use crate::index::AltCore;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued retrain request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Request {
+    /// Overflow/escalation pressure at enqueue time; higher drains first.
+    priority: u64,
+    /// Enqueue sequence number; lower (older) drains first among equal
+    /// priorities.
+    seq: u64,
+    /// A key inside the span — the worker re-locates the model from it.
+    key_hint: u64,
+    /// The span's `first_key`, the dedup identity.
+    span_key: u64,
+}
+
+impl Ord for Request {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by priority, then min-heap by seq (FIFO tie-break).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Request {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Queue state guarded by one mutex.
+#[derive(Default)]
+struct Queue {
+    heap: BinaryHeap<Request>,
+    /// Spans currently queued (not yet popped) — duplicate enqueues for
+    /// a span are coalesced instead of retraining it twice.
+    pending_spans: HashSet<u64>,
+    /// Requests popped but not yet finished (for `quiesce`).
+    in_flight: usize,
+    seq: u64,
+    shutdown: bool,
+}
+
+impl Queue {
+    fn drained(&self) -> bool {
+        self.heap.is_empty() && self.in_flight == 0
+    }
+}
+
+/// State shared between enqueuers (inserting threads), the worker pool,
+/// and `quiesce` waiters.
+pub(crate) struct SchedShared {
+    q: Mutex<Queue>,
+    /// Workers wait here for work (or shutdown).
+    work: Condvar,
+    /// `quiesce` callers wait here for the queue to drain.
+    idle: Condvar,
+    policy: BgRetrainPolicy,
+}
+
+impl SchedShared {
+    pub(crate) fn new(policy: BgRetrainPolicy) -> Self {
+        Self {
+            q: Mutex::new(Queue::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            policy,
+        }
+    }
+
+    /// Enqueue a retrain request for the span starting at `span_key`.
+    /// Returns false if the request was shed (queue full, span already
+    /// queued, or shutdown in progress).
+    pub(crate) fn enqueue(&self, span_key: u64, key_hint: u64, priority: u64) -> bool {
+        crate::chaos_hook::point("retrain.bg.enqueue");
+        let mut q = self.q.lock().unwrap();
+        if q.shutdown || q.heap.len() >= self.policy.max_queue.max(1) {
+            crate::metrics_hook::retrain_bg_dropped();
+            return false;
+        }
+        if !q.pending_spans.insert(span_key) {
+            // Already queued: the pending request will observe the
+            // accumulated overflow when it runs; no second pass needed.
+            return false;
+        }
+        q.seq += 1;
+        let seq = q.seq;
+        q.heap.push(Request {
+            priority,
+            seq,
+            key_hint,
+            span_key,
+        });
+        crate::metrics_hook::retrain_bg_enqueued();
+        drop(q);
+        self.work.notify_one();
+        true
+    }
+
+    /// Block until a request is available (returns it) or shutdown
+    /// (returns `None`).
+    fn pop(&self) -> Option<Request> {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if q.shutdown {
+                return None;
+            }
+            if let Some(r) = q.heap.pop() {
+                q.pending_spans.remove(&r.span_key);
+                q.in_flight += 1;
+                return Some(r);
+            }
+            q = self.work.wait(q).unwrap();
+        }
+    }
+
+    /// Mark one popped request finished.
+    fn done(&self) {
+        let mut q = self.q.lock().unwrap();
+        q.in_flight -= 1;
+        if q.drained() {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Block until every queued and in-flight request has finished (or
+    /// shutdown began, after which no further draining is guaranteed).
+    pub(crate) fn quiesce(&self) {
+        let mut q = self.q.lock().unwrap();
+        while !q.drained() && !q.shutdown {
+            q = self.idle.wait(q).unwrap();
+        }
+    }
+
+    /// Queued (not yet popped) request count.
+    #[cfg(test)]
+    fn depth(&self) -> usize {
+        self.q.lock().unwrap().heap.len()
+    }
+
+    fn shutdown(&self) {
+        self.q.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Rate-limit between drained retrains. Returns false on shutdown.
+    fn throttle(&self) -> bool {
+        let dur = self.policy.min_interval;
+        let mut q = self.q.lock().unwrap();
+        if dur.is_zero() {
+            return !q.shutdown;
+        }
+        let deadline = Instant::now() + dur;
+        loop {
+            if q.shutdown {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            // Spurious wakeups (including notify for new work) just
+            // re-check the deadline; the worker stays throttled.
+            let (g, _) = self.work.wait_timeout(q, deadline - now).unwrap();
+            q = g;
+        }
+    }
+}
+
+/// Owner of the worker pool: dropping it signals shutdown and joins
+/// every worker, so no thread can outlive the [`crate::AltIndex`] that
+/// spawned it.
+pub(crate) struct SchedHandle {
+    shared: Arc<SchedShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Drop for SchedHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn the worker pool over a weak reference to the core. Workers
+/// upgrade per request; a failed upgrade (the index is being dropped)
+/// ends the worker.
+pub(crate) fn spawn_workers(shared: Arc<SchedShared>, core: Weak<AltCore>) -> SchedHandle {
+    let n = shared.policy.workers.max(1);
+    let workers = (0..n)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let core = core.clone();
+            std::thread::Builder::new()
+                .name(format!("alt-retrain-{i}"))
+                .spawn(move || {
+                    while let Some(req) = shared.pop() {
+                        crate::chaos_hook::point("retrain.bg.drain");
+                        crate::metrics_hook::retrain_bg_drained();
+                        let alive = match core.upgrade() {
+                            Some(core) => {
+                                core.retrain_background(req.key_hint);
+                                true
+                            }
+                            None => false,
+                        };
+                        shared.done();
+                        if !alive || !shared.throttle() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn background retrain worker")
+        })
+        .collect();
+    SchedHandle { shared, workers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn policy(max_queue: usize) -> BgRetrainPolicy {
+        BgRetrainPolicy {
+            workers: 1,
+            max_queue,
+            min_interval: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn pops_highest_priority_first_fifo_among_ties() {
+        let s = SchedShared::new(policy(16));
+        assert!(s.enqueue(10, 11, 1));
+        assert!(s.enqueue(20, 21, 5));
+        assert!(s.enqueue(30, 31, 5));
+        assert!(s.enqueue(40, 41, 3));
+        let order: Vec<u64> = (0..4).map(|_| s.pop().unwrap().span_key).collect();
+        assert_eq!(order, vec![20, 30, 40, 10]);
+    }
+
+    #[test]
+    fn duplicate_spans_coalesce_and_full_queue_sheds() {
+        let s = SchedShared::new(policy(2));
+        assert!(s.enqueue(10, 11, 1));
+        assert!(!s.enqueue(10, 12, 9), "same span coalesces");
+        assert!(s.enqueue(20, 21, 1));
+        assert!(!s.enqueue(30, 31, 1), "queue full sheds");
+        assert_eq!(s.depth(), 2);
+        // Popping a span frees its dedup slot for re-enqueueing.
+        let r = s.pop().unwrap();
+        assert!(s.enqueue(r.span_key, r.key_hint, 1));
+    }
+
+    #[test]
+    fn quiesce_waits_for_in_flight_work() {
+        let s = Arc::new(SchedShared::new(policy(16)));
+        assert!(s.enqueue(10, 11, 1));
+        let r = s.pop().unwrap();
+        assert_eq!(r.span_key, 10);
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || s2.quiesce());
+        // The request is in flight, so quiesce must not return yet.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !waiter.is_finished(),
+            "quiesce returned with work in flight"
+        );
+        s.done();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_unblocks_pop_and_quiesce() {
+        let s = Arc::new(SchedShared::new(policy(16)));
+        let s2 = Arc::clone(&s);
+        let popper = std::thread::spawn(move || s2.pop());
+        std::thread::sleep(Duration::from_millis(10));
+        s.shutdown();
+        assert_eq!(popper.join().unwrap(), None);
+        s.quiesce(); // must not hang after shutdown
+        assert!(!s.enqueue(1, 1, 1), "post-shutdown enqueues are shed");
+    }
+
+    #[test]
+    fn throttle_observes_shutdown() {
+        let s = Arc::new(SchedShared::new(BgRetrainPolicy {
+            workers: 1,
+            max_queue: 16,
+            min_interval: Duration::from_secs(60),
+        }));
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.throttle());
+        std::thread::sleep(Duration::from_millis(10));
+        s.shutdown();
+        assert!(!t.join().unwrap(), "shutdown must end the throttle wait");
+    }
+}

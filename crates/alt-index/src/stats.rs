@@ -3,7 +3,7 @@
 //! (Fig 10(b)), ART lookup lengths with/without the shortcut (Fig 10(a)),
 //! and the memory breakdown (Fig 8(a)).
 
-use crate::index::AltIndex;
+use crate::index::AltCore;
 use crate::model::NO_FAST;
 use crate::slots::SlotState;
 use art::FromResult;
@@ -58,7 +58,7 @@ pub struct ArtProbe {
     pub root_hops: u32,
 }
 
-impl AltIndex {
+impl AltCore {
     /// Take a structural snapshot (O(slots) — intended for experiment
     /// checkpoints, not hot paths).
     pub fn stats(&self) -> AltStats {

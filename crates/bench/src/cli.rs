@@ -39,6 +39,9 @@ pub struct Args {
     /// experiment sweeps all of them; empty = the default
     /// {1, 8, 16, 32, 64} sweep. Width 1 is the scalar baseline.
     pub batch_widths: Vec<usize>,
+    /// Time-bucket width in milliseconds for throughput-over-time
+    /// curves (the retrain_shift experiment).
+    pub bucket_ms: u64,
 }
 
 impl Default for Args {
@@ -56,6 +59,7 @@ impl Default for Args {
             chaos_seed: None,
             build_threads: Vec::new(),
             batch_widths: Vec::new(),
+            bucket_ms: 50,
         }
     }
 }
@@ -116,6 +120,10 @@ impl Args {
                         })
                         .collect();
                 }
+                "--bucket-ms" => {
+                    out.bucket_ms = val().parse().expect("--bucket-ms");
+                    assert!(out.bucket_ms >= 1, "--bucket-ms must be >= 1");
+                }
                 "--batch-width" => {
                     out.batch_widths = val()
                         .split(',')
@@ -131,7 +139,7 @@ impl Args {
                         "flags: --keys N --threads N --ops N --datasets a,b \
                          --part a|b|c|d|e --theta F --seed N --indexes x,y \
                          --metrics --chaos-seed N --build-threads 1,2,8 \
-                         --batch-width 1,8,32"
+                         --batch-width 1,8,32 --bucket-ms N"
                     );
                     std::process::exit(0);
                 }
@@ -271,6 +279,12 @@ mod tests {
         let d = parse(&[]);
         assert!(d.batch_widths.is_empty());
         assert_eq!(d.batch_width_sweep(), vec![1, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn bucket_ms_flag() {
+        assert_eq!(parse(&[]).bucket_ms, 50);
+        assert_eq!(parse(&["--bucket-ms", "10"]).bucket_ms, 10);
     }
 
     #[test]

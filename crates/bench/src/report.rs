@@ -22,6 +22,10 @@ pub struct Row {
     pub value: Option<f64>,
     /// What `value` measures.
     pub metric: String,
+    /// The host's available parallelism at run time. Always recorded:
+    /// throughput numbers are meaningless without knowing how many
+    /// cores produced them (ROADMAP trust item).
+    pub parallelism: usize,
 }
 
 /// Escape a string for a JSON string literal.
@@ -66,6 +70,9 @@ impl Row {
             p999_us: None,
             value: None,
             metric: String::new(),
+            parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 
@@ -130,6 +137,7 @@ impl Row {
         if !self.metric.is_empty() {
             fields.push(format!("\"metric\":\"{}\"", json_escape(&self.metric)));
         }
+        fields.push(format!("\"parallelism\":{}", self.parallelism));
         format!("{{{}}}", fields.join(","))
     }
 
@@ -178,6 +186,17 @@ mod tests {
         assert!(js.contains("\"experiment\":\"fig7a\""));
         assert!(js.contains("\"mops\":12.5"));
         assert!(!js.contains("\"x\""), "unset fields omitted: {js}");
+    }
+
+    #[test]
+    fn every_row_records_host_parallelism() {
+        let r = Row::new("any");
+        assert!(r.parallelism >= 1);
+        assert!(
+            r.to_json()
+                .contains(&format!("\"parallelism\":{}", r.parallelism)),
+            "parallelism must be present on every row"
+        );
     }
 
     #[test]

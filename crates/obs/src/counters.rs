@@ -66,6 +66,14 @@ pub enum Counter {
     /// Retrain triggers skipped because another structural change held
     /// the directory lock.
     RetrainSkippedBusy,
+    /// Background-mode retrain requests accepted into the scheduler
+    /// queue by an inserting thread.
+    RetrainBgEnqueued,
+    /// Background-mode retrain requests shed (queue full or duplicate
+    /// span) — the next overflow insert re-enqueues.
+    RetrainBgDropped,
+    /// Retrain requests popped by a background worker.
+    RetrainBgDrained,
     /// OLC restarts: a version validation failed, sending the reader
     /// back to a stable ancestor (Leis et al., DaMoN 2016).
     OlcRestart,
@@ -139,7 +147,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in rendering order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 39] = [
         Counter::SlotReadRetry,
         Counter::SlotLockRetry,
         Counter::FastPtrJumpHit,
@@ -152,6 +160,9 @@ impl Counter {
         Counter::RetrainCompleted,
         Counter::RetrainEmptySpan,
         Counter::RetrainSkippedBusy,
+        Counter::RetrainBgEnqueued,
+        Counter::RetrainBgDropped,
+        Counter::RetrainBgDrained,
         Counter::OlcRestart,
         Counter::ArtJumpResume,
         Counter::ArtJumpFallback,
@@ -193,6 +204,9 @@ impl Counter {
             Counter::RetrainCompleted => "alt.retrain_completed",
             Counter::RetrainEmptySpan => "alt.retrain_empty_span",
             Counter::RetrainSkippedBusy => "alt.retrain_skipped_busy",
+            Counter::RetrainBgEnqueued => "alt.retrain_bg_enqueued",
+            Counter::RetrainBgDropped => "alt.retrain_bg_dropped",
+            Counter::RetrainBgDrained => "alt.retrain_bg_drained",
             Counter::OlcRestart => "art.olc_restart",
             Counter::ArtJumpResume => "art.jump_resume",
             Counter::ArtJumpFallback => "art.jump_fallback",
@@ -272,8 +286,9 @@ pub fn incr(counter: Counter) {
     add(counter, 1);
 }
 
-/// Current total of a counter (sums the shards; snapshot-time only).
-pub(crate) fn total(counter: Counter) -> u64 {
+/// Current total of a counter (sums the shards; snapshot-time only —
+/// this walks every shard, so it is not a hot-path read).
+pub fn total(counter: Counter) -> u64 {
     COUNTERS[counter as usize]
         .shards
         .iter()

@@ -38,6 +38,6 @@ mod counters;
 mod phases;
 mod snapshot;
 
-pub use counters::{add, incr, Counter};
+pub use counters::{add, incr, total, Counter};
 pub use phases::{record_phase_ns, Phase};
 pub use snapshot::{snapshot, MetricsSnapshot};

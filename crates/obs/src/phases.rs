@@ -26,15 +26,21 @@ pub enum Phase {
     /// Retrain: removing the ART keys the new slots absorbed
     /// (write-back of §III-F).
     RetrainCleanup,
+    /// Background retrain only: re-collecting the span and applying the
+    /// insert/update/remove delta that accumulated while the build ran
+    /// outside the write lock (the second, short writer stall of the
+    /// two-phase scheme).
+    RetrainReconcile,
 }
 
 impl Phase {
     /// All phases, in rendering order.
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; 5] = [
         Phase::RetrainCollect,
         Phase::RetrainBuild,
         Phase::RetrainSwap,
         Phase::RetrainCleanup,
+        Phase::RetrainReconcile,
     ];
 
     /// Stable dotted name used in reports and bench JSON.
@@ -44,6 +50,7 @@ impl Phase {
             Phase::RetrainBuild => "retrain.build_ns",
             Phase::RetrainSwap => "retrain.swap_ns",
             Phase::RetrainCleanup => "retrain.cleanup_ns",
+            Phase::RetrainReconcile => "retrain.reconcile_ns",
         }
     }
 }

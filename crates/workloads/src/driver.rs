@@ -65,6 +65,126 @@ pub struct RunResult {
     pub failed_inserts: usize,
 }
 
+/// Results of one bucketed run ([`run_streams_timed`]).
+#[derive(Debug, Clone)]
+pub struct TimedResult {
+    /// Total operations executed.
+    pub total_ops: usize,
+    /// Wall-clock seconds (max across threads).
+    pub secs: f64,
+    /// Overall throughput in million operations per second.
+    pub mops: f64,
+    /// Width of each time bucket in milliseconds.
+    pub bucket_ms: u64,
+    /// Operations completed per fixed-width time bucket since the
+    /// barrier, summed across threads. `buckets[i]` covers
+    /// `[i * bucket_ms, (i+1) * bucket_ms)`; throughput-over-time curves
+    /// plot `buckets[i] / bucket_ms` against `i * bucket_ms`.
+    pub buckets: Vec<u64>,
+    /// Inserts rejected as duplicates (0 for thread-disjoint streams).
+    pub failed_inserts: usize,
+}
+
+impl TimedResult {
+    /// Per-bucket throughput in million ops/sec, for curve plotting.
+    pub fn bucket_mops(&self) -> Vec<f64> {
+        let per_sec = 1_000.0 / self.bucket_ms as f64;
+        self.buckets
+            .iter()
+            .map(|&n| n as f64 * per_sec / 1e6)
+            .collect()
+    }
+}
+
+/// Run one explicit operation stream per thread, recording per-bucket
+/// op completions — the throughput-over-time measurement behind the
+/// retrain-stall curves. Unlike [`run_workload`] the streams are
+/// supplied by the caller (e.g. [`crate::ShiftPlan::stream`]), so the
+/// same deterministic streams can be replayed against a second index.
+pub fn run_streams_timed<I, S>(index: &I, streams: Vec<S>, bucket_ms: u64) -> TimedResult
+where
+    I: ConcurrentIndex + ?Sized + Sync,
+    S: Iterator<Item = Op> + Send,
+{
+    let threads = streams.len().max(1);
+    let bucket_ms = bucket_ms.max(1);
+    let barrier = Barrier::new(threads);
+    let per_thread: Vec<(f64, Vec<u64>, usize, usize)> = std::thread::scope(|s| {
+        let barrier = &barrier;
+        let handles: Vec<_> = streams
+            .into_iter()
+            .map(|stream| {
+                s.spawn(move || {
+                    let mut buckets: Vec<u64> = Vec::new();
+                    let mut scan_buf: Vec<(u64, u64)> = Vec::with_capacity(128);
+                    let mut failed = 0usize;
+                    let mut n = 0usize;
+                    barrier.wait();
+                    let start = Instant::now();
+                    for op in stream {
+                        match op {
+                            Op::Read(k) => {
+                                let _ = index.get(k);
+                            }
+                            Op::Insert(k, v) => {
+                                if index.insert(k, v).is_err() {
+                                    failed += 1;
+                                }
+                            }
+                            Op::Remove(k) => {
+                                index.remove(k);
+                            }
+                            Op::Scan(k, len) => {
+                                scan_buf.clear();
+                                index.scan(k, len, &mut scan_buf);
+                            }
+                        }
+                        n += 1;
+                        let b = (start.elapsed().as_millis() as u64 / bucket_ms) as usize;
+                        if b >= buckets.len() {
+                            buckets.resize(b + 1, 0);
+                        }
+                        buckets[b] += 1;
+                    }
+                    (start.elapsed().as_secs_f64(), buckets, n, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut merged: Vec<u64> = Vec::new();
+    let mut max_secs = 0.0f64;
+    let mut total_ops = 0usize;
+    let mut failed_inserts = 0usize;
+    for (secs, buckets, n, failed) in per_thread {
+        max_secs = max_secs.max(secs);
+        total_ops += n;
+        failed_inserts += failed;
+        if buckets.len() > merged.len() {
+            merged.resize(buckets.len(), 0);
+        }
+        for (m, b) in merged.iter_mut().zip(buckets) {
+            *m += b;
+        }
+    }
+    TimedResult {
+        total_ops,
+        secs: max_secs,
+        mops: if max_secs > 0.0 {
+            total_ops as f64 / max_secs / 1e6
+        } else {
+            0.0
+        },
+        bucket_ms,
+        buckets: merged,
+        failed_inserts,
+    }
+}
+
 /// Drain the buffered read keys through `get_batch`, recording the
 /// flush latency when sampled and folding hits into the read counters.
 #[allow(clippy::too_many_arguments)]
@@ -171,6 +291,9 @@ pub fn run_workload<I: ConcurrentIndex + ?Sized + 'static>(
                         if index.insert(k, v).is_err() {
                             local_failed += 1;
                         }
+                    }
+                    Op::Remove(k) => {
+                        index.remove(k);
                     }
                     Op::Scan(k, len) => {
                         scan_buf.clear();
@@ -329,6 +452,27 @@ mod tests {
         assert_eq!(batched.read_hits, scalar.read_hits);
         assert_eq!(batched.failed_inserts, 0);
         assert!(batched.mops > 0.0);
+    }
+
+    #[test]
+    fn timed_run_buckets_account_for_every_op() {
+        use crate::shift::{ShiftKind, ShiftPlan};
+        let plan = ShiftPlan::new(ShiftKind::RollingWindow, 11);
+        let idx = Arc::new(RefIndex::bulk_load(&plan.initial_pairs()));
+        let threads = 2;
+        let ops = 5_000;
+        let streams: Vec<_> = (0..threads).map(|t| plan.stream(t, threads, ops)).collect();
+        let r = run_streams_timed(&*idx, streams, 5);
+        assert_eq!(r.total_ops, threads * ops);
+        assert_eq!(
+            r.buckets.iter().sum::<u64>() as usize,
+            r.total_ops,
+            "every op lands in exactly one bucket"
+        );
+        assert_eq!(r.failed_inserts, 0, "shift streams are thread-disjoint");
+        assert_eq!(r.bucket_ms, 5);
+        assert!(r.mops > 0.0);
+        assert_eq!(r.bucket_mops().len(), r.buckets.len());
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! * [`ops`] — per-thread operation streams: zipfian reads over the
 //!   bulk-loaded keys, uniformly distributed inserts from a reserved
 //!   pool, 100-key scans.
+//! * [`shift`] — distribution-shift streams (monotonic append, rolling
+//!   window, sudden mid-run shift) for exercising retraining.
 //! * [`driver`] — spawns N threads over any
 //!   [`index_api::ConcurrentIndex`], measuring throughput and sampled
-//!   P50/P99/P99.9 latencies.
+//!   P50/P99/P99.9 latencies; [`driver::run_streams_timed`] additionally
+//!   records throughput per fixed-width time bucket, the measurement
+//!   behind the retrain-stall curves.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,10 +22,12 @@ pub mod driver;
 pub mod histogram;
 pub mod mix;
 pub mod ops;
+pub mod shift;
 pub mod zipf;
 
-pub use driver::{run_workload, DriverConfig, RunResult};
+pub use driver::{run_streams_timed, run_workload, DriverConfig, RunResult, TimedResult};
 pub use histogram::LatencyHistogram;
 pub use mix::{Mix, Op};
 pub use ops::{OpStream, WorkloadPlan};
+pub use shift::{ShiftKind, ShiftPlan, ShiftStream};
 pub use zipf::Zipf;

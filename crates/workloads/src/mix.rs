@@ -7,6 +7,9 @@ pub enum Op {
     Read(u64),
     /// Insert of a fresh key with a value.
     Insert(u64, u64),
+    /// Remove of a key (shift workloads; the classic mixes never
+    /// generate it).
+    Remove(u64),
     /// Scan `n` entries starting at the key.
     Scan(u64, usize),
 }

@@ -1,0 +1,366 @@
+//! Distribution-shift workload generators for exercising retraining:
+//! streams whose key distribution *changes over the run*, so the index
+//! must rebuild models mid-flight to keep up.
+//!
+//! Three shapes:
+//!
+//! * [`ShiftKind::Append`] — monotonic time-series append: every insert
+//!   lands past the current maximum, continuously growing the tail span.
+//! * [`ShiftKind::RollingWindow`] — delete-at-tail / insert-at-head
+//!   churn with a constant live-set size, the retention-window pattern
+//!   of metric stores.
+//! * [`ShiftKind::SuddenShift`] — a mid-run regime change: the first
+//!   half densifies the preloaded region with gap keys, the second half
+//!   abruptly appends a dense block in untouched key space.
+//!
+//! Determinism and replayability are load-bearing: a stream is a pure
+//! function of `(plan, thread, threads, ops)`, and **every key a thread
+//! touches — reads included — is owned by that thread** (global key
+//! index ≡ thread id mod thread count). That makes the generated runs
+//! directly checkable by the testkit's per-thread sequential-replay
+//! oracle, and lets a second index replay the identical streams for
+//! inline-vs-background A/B comparisons.
+
+use crate::mix::Op;
+use datasets::rng::SplitMix64;
+
+/// Distance between adjacent base-grid keys. Gap keys (base + 1) fall
+/// strictly between grid keys, so `SuddenShift`'s densification phase
+/// never collides with the preload.
+pub const KEY_STRIDE: u64 = 4;
+
+/// The base-grid key for global index `idx` (indices start at 0, keys
+/// start at `KEY_STRIDE` so key 0 — ALT's reserved sentinel — is never
+/// generated).
+#[inline]
+pub fn grid_key(idx: u64) -> u64 {
+    (idx + 1) * KEY_STRIDE
+}
+
+/// Which distribution shift a plan generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftKind {
+    /// Monotonic append past the preloaded maximum (time-series).
+    Append,
+    /// Insert at the head, remove at the tail; live size stays constant.
+    RollingWindow,
+    /// Mid-run regime change: densify the preload, then dense-append far
+    /// away.
+    SuddenShift,
+}
+
+impl ShiftKind {
+    /// All kinds, in bench/report order.
+    pub const ALL: [ShiftKind; 3] = [
+        ShiftKind::Append,
+        ShiftKind::RollingWindow,
+        ShiftKind::SuddenShift,
+    ];
+
+    /// Stable label used in `#json` rows and test names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShiftKind::Append => "append",
+            ShiftKind::RollingWindow => "rolling-window",
+            ShiftKind::SuddenShift => "sudden-shift",
+        }
+    }
+}
+
+/// A deterministic shift-workload plan. Streams derived from the same
+/// plan with the same `(thread, threads, ops)` are identical.
+#[derive(Debug, Clone)]
+pub struct ShiftPlan {
+    /// The distribution shape.
+    pub kind: ShiftKind,
+    /// Base-grid keys preloaded before the run ([`Self::initial_pairs`]).
+    pub preload: u64,
+    /// Percent of operations that are point reads (the rest mutate).
+    pub read_pct: u8,
+    /// Base RNG seed; the thread id is mixed in per stream.
+    pub seed: u64,
+}
+
+impl ShiftPlan {
+    /// A plan with kind-appropriate defaults: appends and sudden shifts
+    /// run write-heavy (20% reads) to stress retraining, the rolling
+    /// window balances churn against reads (50%).
+    pub fn new(kind: ShiftKind, seed: u64) -> Self {
+        let read_pct = match kind {
+            ShiftKind::RollingWindow => 50,
+            _ => 20,
+        };
+        Self {
+            kind,
+            preload: 50_000,
+            read_pct,
+            seed,
+        }
+    }
+
+    /// The pairs to bulk-load before running: the first `preload`
+    /// base-grid keys, values under the `k ^ 0x5555` convention.
+    pub fn initial_pairs(&self) -> Vec<(u64, u64)> {
+        (0..self.preload)
+            .map(|i| {
+                let k = grid_key(i);
+                (k, k ^ 0x5555)
+            })
+            .collect()
+    }
+
+    /// The operation stream for one of `threads` workers, `ops` long.
+    /// Stateless: calling this twice yields identical streams.
+    pub fn stream(&self, thread: usize, threads: usize, ops: usize) -> ShiftStream {
+        assert!(thread < threads, "thread {thread} out of {threads}");
+        let t = thread as u64;
+        let n = threads as u64;
+        // Smallest owned index >= preload: the first fresh insert slot.
+        let head = self.preload + (t + n - self.preload % n) % n;
+        ShiftStream {
+            kind: self.kind,
+            read_pct: self.read_pct as u64,
+            preload: self.preload,
+            thread: t,
+            threads: n,
+            rng: SplitMix64::new(self.seed ^ (thread as u64).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+            remaining: ops,
+            total: ops,
+            head,
+            tail: t,
+            gap: t,
+            dense: t,
+            mutate_toggle: false,
+        }
+    }
+}
+
+/// Iterator over one thread's operations (see [`ShiftPlan::stream`]).
+#[derive(Debug, Clone)]
+pub struct ShiftStream {
+    kind: ShiftKind,
+    read_pct: u64,
+    preload: u64,
+    thread: u64,
+    threads: u64,
+    rng: SplitMix64,
+    remaining: usize,
+    total: usize,
+    /// Next owned base-grid index to insert (Append / RollingWindow).
+    head: u64,
+    /// Oldest live owned base-grid index (RollingWindow removes here).
+    tail: u64,
+    /// Next owned preload index to densify with a gap key (SuddenShift
+    /// phase A).
+    gap: u64,
+    /// Next owned offset in the dense block (SuddenShift phase B).
+    dense: u64,
+    mutate_toggle: bool,
+}
+
+impl ShiftStream {
+    /// First key past every gap key: the dense block of `SuddenShift`'s
+    /// second phase starts here.
+    fn dense_base(&self) -> u64 {
+        grid_key(self.preload) * 2
+    }
+
+    /// A read of a uniformly chosen key this thread knows to be live.
+    fn read_op(&mut self) -> Op {
+        let (lo, hi) = match self.kind {
+            // Append: everything from this thread's first owned index up
+            // to (excluding) the next insert slot is live.
+            ShiftKind::Append => (self.thread, self.head),
+            // RollingWindow: live owned indices are [tail, head).
+            ShiftKind::RollingWindow => (self.tail, self.head),
+            ShiftKind::SuddenShift => {
+                // Dense-phase reads target the new regime once this
+                // thread has inserted there; otherwise the preload.
+                if self.dense > self.thread {
+                    let r = self
+                        .rng
+                        .next_below((self.dense - self.thread) / self.threads);
+                    return Op::Read(self.dense_base() + self.thread + r * self.threads);
+                }
+                (self.thread, self.preload)
+            }
+        };
+        debug_assert!(lo < hi && lo % self.threads == self.thread);
+        let r = self.rng.next_below((hi - lo).div_ceil(self.threads));
+        Op::Read(grid_key(lo + r * self.threads))
+    }
+
+    fn insert_op(k: u64) -> Op {
+        Op::Insert(k, k ^ 0x5555)
+    }
+
+    fn mutate_op(&mut self) -> Op {
+        match self.kind {
+            ShiftKind::Append => {
+                let k = grid_key(self.head);
+                self.head += self.threads;
+                Self::insert_op(k)
+            }
+            ShiftKind::RollingWindow => {
+                self.mutate_toggle = !self.mutate_toggle;
+                if self.mutate_toggle || self.tail + self.threads > self.head {
+                    let k = grid_key(self.head);
+                    self.head += self.threads;
+                    Self::insert_op(k)
+                } else {
+                    let k = grid_key(self.tail);
+                    self.tail += self.threads;
+                    Op::Remove(k)
+                }
+            }
+            ShiftKind::SuddenShift => {
+                let phase_a = self.total - self.remaining < self.total / 2;
+                if phase_a && self.gap < self.preload {
+                    // Densify: a gap key strictly between two grid keys.
+                    let k = grid_key(self.gap) + 1;
+                    self.gap += self.threads;
+                    Self::insert_op(k)
+                } else if phase_a {
+                    // Gap slots exhausted early: degrade to reads.
+                    self.read_op()
+                } else {
+                    // Phase B: dense stride-1 block in fresh key space,
+                    // interleaved across threads.
+                    let k = self.dense_base() + self.dense;
+                    self.dense += self.threads;
+                    Self::insert_op(k)
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ShiftStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let op = if self.rng.next_below(100) < self.read_pct {
+            self.read_op()
+        } else {
+            self.mutate_op()
+        };
+        self.remaining -= 1;
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn replay(kind: ShiftKind, threads: usize, ops: usize) -> BTreeMap<u64, u64> {
+        // Per-thread sequential replay against a model map must never
+        // see a duplicate insert, a missing remove, or a stale read.
+        let plan = ShiftPlan::new(kind, 42);
+        let mut model: BTreeMap<u64, u64> = plan.initial_pairs().into_iter().collect();
+        for t in 0..threads {
+            for op in plan.stream(t, threads, ops) {
+                match op {
+                    Op::Read(k) => assert!(
+                        model.contains_key(&k),
+                        "{}: thread {t} read missing key {k}",
+                        kind.label()
+                    ),
+                    Op::Insert(k, v) => assert!(
+                        model.insert(k, v).is_none(),
+                        "{}: thread {t} duplicate insert {k}",
+                        kind.label()
+                    ),
+                    Op::Remove(k) => assert!(
+                        model.remove(&k).is_some(),
+                        "{}: thread {t} removed missing key {k}",
+                        kind.label()
+                    ),
+                    Op::Scan(..) => unreachable!("shift plans do not scan"),
+                }
+            }
+        }
+        model
+    }
+
+    #[test]
+    fn all_kinds_replay_cleanly_single_and_multi_thread() {
+        // Thread-disjoint ownership means per-thread sequential replay
+        // is exact even though real runs interleave threads.
+        for kind in ShiftKind::ALL {
+            for threads in [1usize, 3, 4] {
+                replay(kind, threads, 20_000);
+            }
+        }
+    }
+
+    #[test]
+    fn append_only_grows_the_tail() {
+        let plan = ShiftPlan::new(ShiftKind::Append, 7);
+        let max_preloaded = grid_key(plan.preload - 1);
+        for op in plan.stream(0, 2, 10_000) {
+            if let Op::Insert(k, _) = op {
+                assert!(k > max_preloaded, "append insert {k} inside preload");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_window_keeps_live_size_bounded() {
+        let plan = ShiftPlan::new(ShiftKind::RollingWindow, 7);
+        let model = replay(ShiftKind::RollingWindow, 2, 40_000);
+        // Inserts and removes alternate, so the live set stays within
+        // one insert of the preload size.
+        let slack: u64 = 2; // = threads
+        assert!(
+            (model.len() as u64) <= plan.preload + slack,
+            "live size {} grew past preload {}",
+            model.len(),
+            plan.preload
+        );
+    }
+
+    #[test]
+    fn sudden_shift_changes_regime_at_halftime() {
+        let plan = ShiftPlan::new(ShiftKind::SuddenShift, 7);
+        let ops = 30_000usize;
+        let stream = plan.stream(0, 1, ops);
+        let dense_base = grid_key(plan.preload) * 2;
+        let inserts: Vec<(usize, u64)> = stream
+            .enumerate()
+            .filter_map(|(i, op)| match op {
+                Op::Insert(k, _) => Some((i, k)),
+                _ => None,
+            })
+            .collect();
+        let (a, b): (Vec<_>, Vec<_>) = inserts.iter().partition(|(i, _)| *i < ops / 2);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(
+            a.iter()
+                .all(|(_, k)| *k < dense_base && k % KEY_STRIDE == 1),
+            "phase A must densify with gap keys"
+        );
+        assert!(
+            b.iter().all(|(_, k)| *k >= dense_base),
+            "phase B must land in the dense block"
+        );
+    }
+
+    #[test]
+    fn streams_are_stateless_and_thread_seeded() {
+        let plan = ShiftPlan::new(ShiftKind::Append, 9);
+        let a: Vec<Op> = plan.stream(1, 4, 5_000).collect();
+        let b: Vec<Op> = plan.stream(1, 4, 5_000).collect();
+        assert_eq!(a, b, "same (thread, threads, ops) must replay exactly");
+        let c: Vec<Op> = plan.stream(2, 4, 5_000).collect();
+        assert_ne!(a, c, "different threads must diverge");
+    }
+}

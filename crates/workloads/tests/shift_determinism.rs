@@ -1,0 +1,141 @@
+//! Shift-generator determinism: the reproducibility guard for the
+//! retrain-shift experiments, in the same style as the datasets crate's
+//! determinism suite. The contract of `ShiftPlan::stream(thread,
+//! threads, ops)`:
+//!
+//! 1. **repeat identity** — the same `(plan, thread, threads, ops)`
+//!    yields an identical op sequence every call;
+//! 2. **statelessness** — streams share no hidden state: draining other
+//!    streams (any kind, any seed) between two identical requests
+//!    changes nothing;
+//! 3. **golden output** — every kind is integer/bit-arithmetic only (no
+//!    libm), so op sequences are pinned to committed FNV-1a digests; an
+//!    accidental generator change cannot silently re-seed the
+//!    `BENCH_retrain_shift` curves or the oracle suites built on exact
+//!    stream replay.
+
+use workloads::{Op, ShiftKind, ShiftPlan};
+
+/// Fold an op stream into an FNV-1a digest (op tag, then operands).
+fn fnv1a<I: Iterator<Item = Op>>(ops: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for op in ops {
+        match op {
+            Op::Read(k) => {
+                eat(1);
+                eat(k);
+            }
+            Op::Insert(k, v) => {
+                eat(2);
+                eat(k);
+                eat(v);
+            }
+            Op::Remove(k) => {
+                eat(3);
+                eat(k);
+            }
+            Op::Scan(k, n) => {
+                eat(4);
+                eat(k);
+                eat(n as u64);
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn repeat_identity_for_every_kind() {
+    for kind in ShiftKind::ALL {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let plan = ShiftPlan::new(kind, seed);
+            for t in 0..3 {
+                let a: Vec<Op> = plan.stream(t, 3, 10_000).collect();
+                let b: Vec<Op> = plan.stream(t, 3, 10_000).collect();
+                assert_eq!(a, b, "{} seed {seed} thread {t}", kind.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn streams_are_stateless_across_interleaved_drains() {
+    let baseline: Vec<(ShiftKind, Vec<Op>)> = ShiftKind::ALL
+        .iter()
+        .map(|&kind| (kind, ShiftPlan::new(kind, 77).stream(1, 2, 8_000).collect()))
+        .collect();
+    // Drain a pile of unrelated streams, then regenerate.
+    for kind in ShiftKind::ALL {
+        let _ = ShiftPlan::new(kind, 123_456).stream(0, 4, 3_000).count();
+        let _ = ShiftPlan::new(kind, 9).initial_pairs();
+    }
+    for (kind, expected) in &baseline {
+        let again: Vec<Op> = ShiftPlan::new(*kind, 77).stream(1, 2, 8_000).collect();
+        assert_eq!(
+            &again,
+            expected,
+            "{} drifted after interleaved drains",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn threads_and_seeds_change_the_stream() {
+    for kind in ShiftKind::ALL {
+        let plan = ShiftPlan::new(kind, 5);
+        let base = fnv1a(plan.stream(0, 4, 5_000));
+        assert_ne!(
+            base,
+            fnv1a(plan.stream(1, 4, 5_000)),
+            "{}: different threads must diverge",
+            kind.label()
+        );
+        assert_ne!(
+            base,
+            fnv1a(ShiftPlan::new(kind, 6).stream(0, 4, 5_000)),
+            "{}: different seeds must diverge",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn streams_match_golden_digests() {
+    // Computed once from the committed generator implementation
+    // (integer arithmetic only — stable across hosts). A mismatch means
+    // the generator changed and every recorded retrain-shift curve in
+    // results/ is stale.
+    const GOLDEN: &[(ShiftKind, usize, usize, u64, u64)] = &[
+        // (kind, thread, threads, seed, digest) — 10_000 ops each.
+        (ShiftKind::Append, 0, 2, 42, 0xf021_0e0c_b379_9063),
+        (ShiftKind::Append, 1, 2, 42, 0x94ff_f0d5_85b3_6c0a),
+        (ShiftKind::RollingWindow, 0, 2, 42, 0x1114_bc06_4a0b_c883),
+        (ShiftKind::RollingWindow, 1, 2, 42, 0x2ec6_2344_0a39_4838),
+        (ShiftKind::SuddenShift, 0, 2, 42, 0xe808_fc79_5cfb_934f),
+        (ShiftKind::SuddenShift, 1, 2, 42, 0x617a_f26f_213c_3ec7),
+    ];
+    for &(kind, thread, threads, seed, want) in GOLDEN {
+        let got = fnv1a(ShiftPlan::new(kind, seed).stream(thread, threads, 10_000));
+        assert_eq!(
+            got,
+            want,
+            "{} t{thread}/{threads} seed={seed}: digest {got:#018x} != golden {want:#018x}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn initial_pairs_match_golden_digest() {
+    let pairs = ShiftPlan::new(ShiftKind::Append, 0).initial_pairs();
+    let flat: Vec<Op> = pairs.iter().map(|&(k, v)| Op::Insert(k, v)).collect();
+    let got = fnv1a(flat.into_iter());
+    assert_eq!(got, 0xb27d_ed09_5bda_2e79, "preload drifted: {got:#018x}");
+}

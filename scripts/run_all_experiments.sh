@@ -42,4 +42,9 @@ run batch_lookup --keys "$KEYS" --ops "$OPS" --batch-width "$BATCH_WIDTHS"
 # The machine-readable batched-lookup baseline (same JSON-lines shape).
 grep '#json' "results/batch_lookup$SUFFIX.txt" | sed 's/^#json //' \
     > "results/BENCH_batch_lookup$SUFFIX.json"
+run retrain_shift --threads "$THREADS" --ops "$OPS" --bucket-ms "${BUCKET_MS:-50}"
+# The machine-readable throughput-over-time curves, inline vs background
+# retraining (same JSON-lines shape).
+grep '#json' "results/retrain_shift$SUFFIX.txt" | sed 's/^#json //' \
+    > "results/BENCH_retrain_shift$SUFFIX.json"
 echo "ALL EXPERIMENTS DONE"

@@ -101,6 +101,55 @@ fn chaos_alt_index_parallel_built() {
     }
 }
 
+/// The background-retrain-scheduler satellite: ≥8 seeds where the
+/// worker pool's two-phase rebuild (enqueue → off-lock build →
+/// reconcile → swap) races the oracle's concurrent
+/// insert/update/remove/scan threads. With `--features chaos` the
+/// `retrain.bg.{enqueue,drain,swap}` points inject seeded delays into
+/// exactly those windows. Tight ε makes overflow (and therefore
+/// retraining) frequent; quiescing before the final check ensures the
+/// oracle also sees the post-rebuild state.
+#[test]
+fn chaos_alt_index_background_retrain() {
+    let base = seed_base();
+    for s in 0..8u64 {
+        let seed = base + 9_000 + s;
+        let mut scenario = if s % 2 == 0 {
+            Scenario::disjoint(seed)
+        } else {
+            Scenario::shared(seed)
+        };
+        scenario.keys_per_thread = 512;
+        let cfg = AltConfig {
+            epsilon: Some(16.0),
+            ..AltConfig::background()
+        };
+        let idx = AltIndex::bulk_load_with(&scenario.initial_pairs(), cfg);
+        if let Err(report) = scenario.run(&idx) {
+            panic!(
+                "background-retrain alt-index seed {seed} ({:?}): {report}",
+                scenario.partition
+            );
+        }
+        // Drain every queued rebuild, then re-check structural
+        // invariants over the post-rebuild directory: the full scan must
+        // be strictly sorted (no duplicated or resurrected keys) and
+        // agree with the maintained length.
+        idx.retrain_quiesce();
+        let mut dump = Vec::new();
+        index_api::ConcurrentIndex::range(&idx, 1, u64::MAX, &mut dump);
+        assert!(
+            dump.windows(2).all(|w| w[0].0 < w[1].0),
+            "background-retrain seed {seed}: post-quiesce scan not strictly sorted"
+        );
+        assert_eq!(
+            dump.len(),
+            index_api::ConcurrentIndex::len(&idx),
+            "background-retrain seed {seed}: post-quiesce scan/len divergence"
+        );
+    }
+}
+
 #[test]
 fn chaos_art() {
     sweep::<Art>("art");
