@@ -103,6 +103,15 @@ impl AltCore {
 /// Top up the ring with fresh flights from the key stream. Reserved key
 /// 0 is answered inline (`None`, same as scalar `get`) without taking a
 /// ring slot.
+///
+/// Admission is *grouped*: the batch gathers every fresh key's model
+/// first, then computes all their predictions in one vectorized pass
+/// ([`learned::predict_f_group`] — packed f64 multiplies, bit-identical
+/// to the scalar `GplModel::predict`), and only then issues the slot
+/// prefetches. Besides using the vector unit, this orders all the
+/// directory walks before all the slot-line prefetches, so no admitted
+/// key's prefetch is wasted warming a line that a later admission's
+/// directory walk then evicts.
 #[inline]
 fn fill<'g>(
     idx: &AltCore,
@@ -112,33 +121,44 @@ fn fill<'g>(
     ring: &mut Vec<Flight<'g>>,
     guard: &'g Guard,
 ) {
-    while *next < keys.len() && ring.len() < RING_WIDTH {
+    let mut kis = [0usize; RING_WIDTH];
+    let mut ks = [0u64; RING_WIDTH];
+    let mut models: [Option<&'g GplModel>; RING_WIDTH] = [None; RING_WIDTH];
+    let mut lms = [learned::LinearModel::point(0); RING_WIDTH];
+    let mut n = 0usize;
+    while *next < keys.len() && ring.len() + n < RING_WIDTH {
         let ki = *next;
         *next += 1;
         if keys[ki] == 0 {
             out[ki] = None;
             continue;
         }
-        ring.push(admit(idx, ki, keys[ki], guard));
+        let m: &'g GplModel = idx.dir_ref(guard).model_for(keys[ki]);
+        kis[n] = ki;
+        ks[n] = keys[ki];
+        models[n] = Some(m);
+        lms[n] = m.model;
+        n += 1;
     }
-}
-
-/// Start (or restart) a key at the predict stage: locate its model,
-/// prefetch the predicted slot line.
-#[inline]
-fn admit<'g>(idx: &AltCore, ki: usize, key: u64, guard: &'g Guard) -> Flight<'g> {
-    let mut fl = Flight {
-        ki,
-        key,
-        retry: crate::contention::Retry::seeded(key),
-        stage: Stage::Probe {
-            // Placeholder; `restage` computes the real model + slot.
-            m: idx.dir_ref(guard).model_for(key),
-            pred: 0,
-        },
-    };
-    restage(idx, &mut fl, guard);
-    fl
+    if n == 0 {
+        return;
+    }
+    let mut pf = [0.0f64; RING_WIDTH];
+    learned::predict_f_group(&lms[..n], &ks[..n], &mut pf[..n]);
+    for i in 0..n {
+        let m = models[i].expect("gathered above");
+        // Same rounding as `GplModel::predict` (see `clamp_pos`), so the
+        // grouped path probes exactly the scalar path's slot.
+        let pred = learned::LinearModel::clamp_pos(pf[i], m.slots.capacity());
+        m.slots.prefetch(pred);
+        crate::metrics_hook::batch_prefetch();
+        ring.push(Flight {
+            ki: kis[i],
+            key: ks[i],
+            retry: crate::contention::Retry::seeded(ks[i]),
+            stage: Stage::Probe { m, pred },
+        });
+    }
 }
 
 /// Recompute the key's (model, predicted slot) from the current

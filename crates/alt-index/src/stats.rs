@@ -9,7 +9,7 @@ use crate::slots::SlotState;
 use art::FromResult;
 use crossbeam_epoch as epoch;
 
-/// A point-in-time structural snapshot of an [`AltIndex`].
+/// A point-in-time structural snapshot of an [`crate::AltIndex`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AltStats {
     /// Number of GPL models in the directory (Fig 6(a)).
@@ -86,7 +86,7 @@ impl AltCore {
     /// Directory layout snapshot: `(first_key, slot_capacity, build_size)`
     /// per model, in directory order. Two indexes with equal spans have
     /// byte-equal learned-layer *shapes*; the build-equivalence suite pairs
-    /// this with [`AltIndex::learned_layout_digest`] (placement equality)
+    /// this with [`Self::learned_layout_digest`] (placement equality)
     /// to pin the serial-vs-parallel build contract.
     pub fn directory_spans(&self) -> Vec<(u64, usize, usize)> {
         let guard = epoch::pin();

@@ -165,7 +165,9 @@ impl Art {
                 self.batch_restart(cur)
             };
         }
-        let child = node::find_child(p, node::key_byte(cur.key, depth));
+        // Optimistic read section — the racing SIMD search result is
+        // discarded unless the validate just below succeeds (§15).
+        let child = node::find_child_racing(p, node::key_byte(cur.key, depth));
         if !hdr.version.validate(v) {
             return self.batch_restart(cur);
         }

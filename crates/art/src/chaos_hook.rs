@@ -3,9 +3,12 @@
 //!
 //! Sites instrumented in this crate: the OLC version-lock protocol
 //! (`olc.rs`: snapshot, validate, upgrade), the fast-pointer jump entry
-//! points (`jump.rs`), and the batch engine's per-step `batch.stage`
-//! point (`batch.rs` — perturbs the interleaving order of in-flight
-//! batched descents relative to concurrent writers).
+//! points (`jump.rs`), the batch engine's per-step `batch.stage` point
+//! (`batch.rs` — perturbs the interleaving order of in-flight batched
+//! descents relative to concurrent writers), and the write-locked child
+//! array shift loops' `node.shift` point (`node.rs` — widens the
+//! mid-shift windows that optimistic readers, including the SIMD
+//! `find_child_racing` path, can race against; see DESIGN.md §15).
 
 /// Schedule-perturbation point. No-op (inlined empty fn) without the
 /// `chaos` feature.

@@ -154,7 +154,9 @@ impl Art {
                 return FromResult::Fallback;
             }
             let b = node::key_byte(key, disc);
-            let child = node::find_child(start, b);
+            // Optimistic read section — the racing SIMD search result is
+            // discarded unless the validate just below succeeds (§15).
+            let child = node::find_child_racing(start, b);
             let full = node::is_full(start);
             if !hdr.version.validate(v) {
                 retry_or_fallback!();
@@ -268,8 +270,9 @@ impl Art {
                 if b1 != b2 {
                     return best;
                 }
-                // SAFETY: epoch pinned.
-                let child = unsafe { node::find_child(p, b1) };
+                // SAFETY: epoch pinned; optimistic read section — result
+                // discarded unless the validate below succeeds (§15).
+                let child = unsafe { node::find_child_racing(p, b1) };
                 if !hdr.version.validate(v) {
                     continue 'restart;
                 }
@@ -369,8 +372,9 @@ fn descend_get(mut p: NodePtr, key: u64, mut depth: usize) -> Result<(Option<u64
                 Err(())
             };
         }
-        // SAFETY: epoch pinned by the caller.
-        let child = unsafe { node::find_child(p, node::key_byte(key, depth)) };
+        // SAFETY: epoch pinned by the caller; optimistic read section —
+        // result discarded unless the validate below succeeds (§15).
+        let child = unsafe { node::find_child_racing(p, node::key_byte(key, depth)) };
         if !hdr.version.validate(v) {
             return Err(());
         }

@@ -25,17 +25,23 @@
 #![allow(clippy::needless_range_loop)]
 
 mod api;
+pub(crate) mod arena;
 mod batch;
 pub(crate) mod chaos_hook;
 pub(crate) mod contention;
 mod jump;
 pub(crate) mod metrics_hook;
-mod node;
+// Exposed (unstably) for the scalar-vs-SIMD equivalence suite
+// (tests/simd_equivalence.rs) and the batch_lookup bench; the stable
+// surface is the re-export list below.
+#[doc(hidden)]
+pub mod node;
 mod olc;
 mod scan;
 mod stats;
 mod tree;
 
+pub use arena::arena_allocated_bytes;
 pub use batch::{BatchCursor, BatchStep, RING_WIDTH};
 pub use node::{key_byte, key_bytes, NodePtr, NodeType, MAX_PREFIX, NO_SLOT};
 pub use olc::VersionLock;

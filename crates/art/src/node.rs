@@ -176,12 +176,23 @@ pub fn is_leaf(p: NodePtr) -> bool {
 }
 
 /// Allocate a leaf and return its tagged pointer.
+///
+/// Leaves (and internal nodes, see [`alloc`]) come from the size-class
+/// slab arena (`crate::arena`), not the global allocator: nodes created
+/// together sit densely on the same pages, which is what makes the
+/// fast-pointer jumps and AMAC ring prefetches pay off. Arena slots are
+/// ≥16-aligned, so bit 0 is always free for the leaf tag.
 pub fn make_leaf(key: u64, value: u64) -> NodePtr {
-    let b = Box::new(Leaf {
-        key,
-        value: AtomicU64::new(value),
-    });
-    Box::into_raw(b) as usize | 1
+    let p = crate::arena::arena_alloc(std::mem::size_of::<Leaf>()) as *mut Leaf;
+    // SAFETY: fresh, exclusively owned slot of sufficient size and
+    // alignment (16-byte slots, Leaf is 16 bytes / 8-aligned).
+    unsafe {
+        p.write(Leaf {
+            key,
+            value: AtomicU64::new(value),
+        });
+    }
+    p as usize | 1
 }
 
 /// Dereference a tagged leaf pointer.
@@ -224,28 +235,39 @@ fn atomic_usize_array<const N: usize>() -> [AtomicUsize; N] {
     std::array::from_fn(|_| AtomicUsize::new(0))
 }
 
-/// Allocate an empty internal node of the given type.
+/// Write `val` into a fresh arena slot sized/aligned for `T` and return
+/// the untagged pointer value.
+fn arena_new<T>(val: T) -> usize {
+    let p = crate::arena::arena_alloc(std::mem::size_of::<T>()) as *mut T;
+    // SAFETY: fresh, exclusively owned slot; internal-node slots are
+    // 64-aligned (≥ align_of::<T>() for every node type).
+    unsafe { p.write(val) };
+    p as usize
+}
+
+/// Allocate an empty internal node of the given type from the slab arena
+/// (see [`make_leaf`] for why nodes don't come from `Box`).
 pub fn alloc(node_type: NodeType) -> NodePtr {
     match node_type {
-        NodeType::N4 => Box::into_raw(Box::new(Node4 {
+        NodeType::N4 => arena_new(Node4 {
             hdr: NodeHeader::new(NodeType::N4),
             keys: atomic_u8_array(0),
             children: atomic_usize_array(),
-        })) as usize,
-        NodeType::N16 => Box::into_raw(Box::new(Node16 {
+        }),
+        NodeType::N16 => arena_new(Node16 {
             hdr: NodeHeader::new(NodeType::N16),
             keys: atomic_u8_array(0),
             children: atomic_usize_array(),
-        })) as usize,
-        NodeType::N48 => Box::into_raw(Box::new(Node48 {
+        }),
+        NodeType::N48 => arena_new(Node48 {
             hdr: NodeHeader::new(NodeType::N48),
             index: atomic_u8_array(EMPTY48),
             children: atomic_usize_array(),
-        })) as usize,
-        NodeType::N256 => Box::into_raw(Box::new(Node256 {
+        }),
+        NodeType::N256 => arena_new(Node256 {
             hdr: NodeHeader::new(NodeType::N256),
             children: atomic_usize_array(),
-        })) as usize,
+        }),
     }
 }
 
@@ -263,7 +285,19 @@ pub fn alloc_size(p: NodePtr) -> usize {
     }
 }
 
-/// Immediately free the allocation behind a tagged pointer.
+/// Drop `T` in place and return its slot to the arena free list.
+unsafe fn arena_drop<T>(p: *mut T) {
+    std::ptr::drop_in_place(p);
+    crate::arena::arena_dealloc(p as *mut u8, std::mem::size_of::<T>());
+}
+
+/// Immediately return the slot behind a tagged pointer to the arena.
+///
+/// In tree code this runs through epoch reclamation
+/// (`Guard::defer_unchecked`), which is what makes arena slot reuse safe
+/// against doomed optimistic readers: the slot re-enters the free list
+/// only after every reader that could have seen the old node has
+/// unpinned (see `crate::arena` docs / DESIGN.md §15).
 ///
 /// # Safety
 /// `p` must be a live pointer produced by [`alloc`] or [`make_leaf`], not
@@ -273,14 +307,14 @@ pub unsafe fn dealloc(p: NodePtr) {
         return;
     }
     if is_leaf(p) {
-        drop(Box::from_raw((p & !1) as *mut Leaf));
+        arena_drop((p & !1) as *mut Leaf);
         return;
     }
     match header(p).node_type {
-        NodeType::N4 => drop(Box::from_raw(p as *mut Node4)),
-        NodeType::N16 => drop(Box::from_raw(p as *mut Node16)),
-        NodeType::N48 => drop(Box::from_raw(p as *mut Node48)),
-        NodeType::N256 => drop(Box::from_raw(p as *mut Node256)),
+        NodeType::N4 => arena_drop(p as *mut Node4),
+        NodeType::N16 => arena_drop(p as *mut Node16),
+        NodeType::N48 => arena_drop(p as *mut Node48),
+        NodeType::N256 => arena_drop(p as *mut Node256),
     }
 }
 
@@ -334,12 +368,87 @@ pub unsafe fn find_child(p: NodePtr, byte: u8) -> NodePtr {
         }
         NodeType::N48 => {
             let n = as_node!(p, Node48);
-            let idx = n.index[byte as usize].load(Ordering::Acquire);
-            if idx == EMPTY48 {
-                0
-            } else {
-                n.children[(idx as usize).min(47)].load(Ordering::Acquire)
+            node48_slot(n, byte)
+        }
+        NodeType::N256 => {
+            let n = as_node!(p, Node256);
+            n.children[byte as usize].load(Ordering::Acquire)
+        }
+    }
+}
+
+/// The two dependent Node48 loads (`index[byte]` → `children[idx]`) with
+/// the out-of-range bound check shared by [`find_child`] and
+/// [`find_child_racing`].
+///
+/// The only values ever stored into `index[byte]` are [`EMPTY48`] (the
+/// initial fill and `remove_child`) and `slot as u8` for a slot found by
+/// scanning the 48-entry children array (`insert_child` /
+/// `insert_child_unchecked_count`), so at rest every entry is in
+/// `0..=47` or `EMPTY48`. A racing optimistic reader still cannot see
+/// anything else — `AtomicU8` (and the per-byte atomicity the SIMD path
+/// relies on, DESIGN.md §15) rules out torn bytes. The bound check is
+/// therefore defense in depth: if a corrupt value ever did appear,
+/// clamping it (as this code once did with `.min(47)`) would silently
+/// return `children[47]` — a live pointer to the *wrong* child, which
+/// version validation cannot catch because the node itself was never
+/// locked. Treating `idx >= 48` as "absent" instead keeps the failure
+/// mode a miss, never a wrong descent.
+#[inline(always)]
+unsafe fn node48_slot(n: &Node48, byte: u8) -> NodePtr {
+    let idx = n.index[byte as usize].load(Ordering::Acquire) as usize;
+    if idx >= 48 {
+        // EMPTY48 (0xFF) and any out-of-range value mean "absent".
+        0
+    } else {
+        n.children[idx].load(Ordering::Acquire)
+    }
+}
+
+/// [`find_child`] with vectorized key search for the sorted node types —
+/// one 16-lane compare instead of a per-byte load loop (SSE2/NEON via
+/// `crates/simd`; identical scalar semantics when SIMD is disabled).
+///
+/// Node48/Node256 lookups are already O(1) pointer chases and share the
+/// scalar helpers (including the Node48 bound check).
+///
+/// # Safety
+/// `p` must be a live internal node pointer, **and** the caller must be
+/// inside an optimistic read section: the result is untrusted until the
+/// node's version validates, and nothing derived from it may be
+/// dereferenced before that validation succeeds (DESIGN.md §15). The
+/// write-locked paths keep using [`find_child`], whose per-byte atomic
+/// loads need no such protocol.
+pub unsafe fn find_child_racing(p: NodePtr, byte: u8) -> NodePtr {
+    let hdr = header(p);
+    match hdr.node_type {
+        NodeType::N4 => {
+            let n = as_node!(p, Node4);
+            let cnt = hdr.count().min(4);
+            // SAFETY: the 16-byte vector load starts at `keys` and stays
+            // inside the Node4 allocation — the 4 key bytes are followed
+            // by (padding +) 32 bytes of children, so ≥16 bytes of the
+            // node remain readable. Lanes ≥ cnt are masked off by
+            // `find_byte16`. The racing-read result is revalidated by
+            // the caller per this function's contract.
+            match simd::find_byte16(n.keys.as_ptr() as *const u8, byte, cnt) {
+                Some(i) => n.children[i].load(Ordering::Acquire),
+                None => 0,
             }
+        }
+        NodeType::N16 => {
+            let n = as_node!(p, Node16);
+            let cnt = hdr.count().min(16);
+            // SAFETY: `keys` is exactly 16 in-bounds bytes; caller
+            // revalidates per this function's contract.
+            match simd::find_byte16(n.keys.as_ptr() as *const u8, byte, cnt) {
+                Some(i) => n.children[i].load(Ordering::Acquire),
+                None => 0,
+            }
+        }
+        NodeType::N48 => {
+            let n = as_node!(p, Node48);
+            node48_slot(n, byte)
         }
         NodeType::N256 => {
             let n = as_node!(p, Node256);
@@ -402,6 +511,35 @@ pub unsafe fn insert_child(p: NodePtr, byte: u8, child: NodePtr) {
     hdr.set_count(cnt + 1);
 }
 
+// Audit note (optimistic readers vs the shift loops below, incl. the
+// SIMD vector search in `find_child_racing` — DESIGN.md §15): the writer
+// holds the node's version lock for the whole shift, so every concurrent
+// reader of this node is an *optimistic* one that snapshotted the version
+// beforehand and will fail `validate` afterwards — any conclusion drawn
+// from a mid-shift view is discarded before it is acted on. What must
+// hold even for a doomed reader is memory safety of the read itself:
+//
+// * Every load/store is a single aligned `AtomicU8`/`AtomicUsize` (or a
+//   per-byte-atomic vector load), so no torn *bytes* — a mid-shift view
+//   is some interleaving of old and new array states.
+// * Every child slot a reader can index (bounded by `count().min(N)` or
+//   a masked 16-lane match) holds, at every intermediate step, either 0
+//   or a pointer that was live at some point during the shift: the
+//   shifts only copy existing entries (transiently duplicating a
+//   neighbor, never inventing a pointer), `insert_sorted` moves
+//   right-to-left before storing the new child, and `remove_sorted`
+//   moves left-to-right before clearing the vacated tail slot. Epoch
+//   reclamation keeps "live at some point while the reader was pinned"
+//   dereferenceable, so a doomed reader may descend into the *wrong*
+//   (duplicated/stale) child but never into freed memory — and the
+//   caller's validate rejects the result before it escapes.
+// * `count` is updated after the arrays (insert) or before them (remove,
+//   via the caller storing count last); either way readers clamp with
+//   `.min(N)` so a stale count cannot index out of bounds.
+//
+// The `node.shift` chaos point widens the mid-shift windows under the
+// `chaos` feature so the seeded schedule sweeps actually exercise these
+// interleavings (see tests/chaos_schedules.rs).
 unsafe fn insert_sorted(
     keys: &[AtomicU8],
     children: &[AtomicUsize],
@@ -420,10 +558,12 @@ unsafe fn insert_sorted(
     // fail validation anyway) never observe an out-of-bounds index.
     let mut i = cnt;
     while i > pos {
+        crate::chaos_hook::point("node.shift");
         keys[i].store(keys[i - 1].load(Ordering::Relaxed), Ordering::Release);
         children[i].store(children[i - 1].load(Ordering::Relaxed), Ordering::Release);
         i -= 1;
     }
+    crate::chaos_hook::point("node.shift");
     keys[pos].store(byte, Ordering::Release);
     children[pos].store(child, Ordering::Release);
 }
@@ -490,7 +630,23 @@ pub unsafe fn remove_child(p: NodePtr, byte: u8) {
             let n = as_node!(p, Node48);
             let idx = n.index[byte as usize].load(Ordering::Relaxed);
             debug_assert!(idx != EMPTY48);
+            // Order matters for doomed optimistic readers: retract the
+            // index entry *before* clearing the child slot. A reader that
+            // loads `index[byte]` in this window either sees EMPTY48
+            // (miss — correct once validation is factored in) or the old
+            // slot index, whose child entry still holds the live-until-
+            // epoch-drain pointer or 0 — never a slot already recycled
+            // for a different byte, because reuse requires a later
+            // `insert_child` under this same write lock, and that bumps
+            // the version the reader is about to validate against. The
+            // reverse order (children first) would leave a window where
+            // `index[byte]` points at a slot that a subsequent unlocked
+            // state could repopulate for another byte while the reader's
+            // snapshot was still "valid-looking"; keeping index-first
+            // means a stale positive always resolves through the stale
+            // slot, and validation kills it.
             n.index[byte as usize].store(EMPTY48, Ordering::Release);
+            crate::chaos_hook::point("node.shift");
             n.children[idx as usize].store(0, Ordering::Release);
         }
         NodeType::N256 => {
@@ -510,10 +666,15 @@ unsafe fn remove_sorted(keys: &[AtomicU8], children: &[AtomicUsize], cnt: usize,
         }
     }
     debug_assert!(pos != usize::MAX, "remove_child: byte not found");
+    // Left-to-right copy, then clear the vacated tail slot last — see the
+    // audit note above `insert_sorted` for why every mid-shift view a
+    // doomed optimistic reader can take is memory-safe.
     for i in pos..cnt - 1 {
+        crate::chaos_hook::point("node.shift");
         keys[i].store(keys[i + 1].load(Ordering::Relaxed), Ordering::Release);
         children[i].store(children[i + 1].load(Ordering::Relaxed), Ordering::Release);
     }
+    crate::chaos_hook::point("node.shift");
     children[cnt - 1].store(0, Ordering::Release);
 }
 
@@ -546,9 +707,12 @@ pub unsafe fn for_each_child(p: NodePtr, mut f: impl FnMut(u8, NodePtr)) {
         NodeType::N48 => {
             let n = as_node!(p, Node48);
             for byte in 0..=255u8 {
-                let idx = n.index[byte as usize].load(Ordering::Acquire);
-                if idx != EMPTY48 {
-                    let c = n.children[(idx as usize).min(47)].load(Ordering::Acquire);
+                let idx = n.index[byte as usize].load(Ordering::Acquire) as usize;
+                // Same bound check as `node48_slot`: EMPTY48 and any
+                // (impossible-at-rest) out-of-range value mean "absent",
+                // never a clamped wrong slot.
+                if idx < 48 {
+                    let c = n.children[idx].load(Ordering::Acquire);
                     if c != 0 {
                         f(byte, c);
                     }
@@ -864,6 +1028,72 @@ mod tests {
             assert!(find_child(p, 41) != 0);
             header(p).version.unlock();
             dealloc_subtree(p);
+        }
+    }
+
+    #[test]
+    fn node48_out_of_range_index_treated_as_absent() {
+        // Regression: the old code clamped a Node48 slot index with
+        // `.min(47)`, so a corrupt out-of-range index entry silently
+        // resolved to `children[47]` — a live pointer to the WRONG
+        // child — instead of "absent". Poke such a value directly (only
+        // possible from this in-crate test; real stores are provably
+        // 0..=47 or EMPTY48, see `node48_slot`) and check every lookup
+        // path reports a miss.
+        unsafe {
+            let p = alloc(NodeType::N48);
+            header(p).version.lock();
+            // Fill all 48 slots so children[47] is non-null (the old
+            // clamp would have returned it).
+            for b in (0..96u16).step_by(2) {
+                insert_child(p, b as u8, make_leaf(b as u64, 0));
+            }
+            assert!(is_full(p));
+            let n = as_node!(p, Node48);
+            assert!(n.children[47].load(Ordering::Relaxed) != 0);
+            // Byte 255 was never inserted; plant a corrupt index entry.
+            n.index[255].store(200, Ordering::Release);
+            assert_eq!(find_child(p, 255), 0, "find_child must report a miss");
+            assert_eq!(
+                find_child_racing(p, 255),
+                0,
+                "find_child_racing must report a miss"
+            );
+            let mut seen_255 = false;
+            for_each_child(p, |b, _| seen_255 |= b == 255);
+            assert!(!seen_255, "for_each_child must skip the corrupt entry");
+            // Restore sanity so dealloc_subtree doesn't double-visit.
+            n.index[255].store(EMPTY48, Ordering::Release);
+            header(p).version.unlock();
+            dealloc_subtree(p);
+        }
+    }
+
+    #[test]
+    fn racing_find_matches_scalar_on_quiescent_nodes() {
+        unsafe {
+            for ty in [NodeType::N4, NodeType::N16, NodeType::N48, NodeType::N256] {
+                let p = alloc(ty);
+                header(p).version.lock();
+                let cap = match ty {
+                    NodeType::N4 => 4u16,
+                    NodeType::N16 => 16,
+                    NodeType::N48 => 48,
+                    NodeType::N256 => 256,
+                };
+                for b in 0..cap {
+                    insert_child(p, (b * 5 % 256) as u8, make_leaf(b as u64, 0));
+                }
+                for byte in 0..=255u16 {
+                    assert_eq!(
+                        find_child(p, byte as u8),
+                        find_child_racing(p, byte as u8),
+                        "{ty:?} byte {byte}"
+                    );
+                }
+                header(p).version.unlock();
+                dealloc_subtree(p);
+            }
         }
     }
 

@@ -316,8 +316,10 @@ impl Art {
                     Err(())
                 };
             }
-            // SAFETY: as above.
-            let child = unsafe { node::find_child(p, node::key_byte(key, depth)) };
+            // SAFETY: as above; optimistic read section — the racing
+            // SIMD search result is discarded unless the validate just
+            // below succeeds (DESIGN.md §15).
+            let child = unsafe { node::find_child_racing(p, node::key_byte(key, depth)) };
             if !hdr.version.validate(v) {
                 return Err(());
             }
@@ -421,8 +423,9 @@ impl Art {
                     Err(())
                 };
             }
-            // SAFETY: pinned epoch.
-            let child = unsafe { node::find_child(p, node::key_byte(key, depth)) };
+            // SAFETY: pinned epoch; optimistic read section — result
+            // discarded unless the validate below succeeds (§15).
+            let child = unsafe { node::find_child_racing(p, node::key_byte(key, depth)) };
             if !hdr.version.validate(v) {
                 return Err(());
             }
@@ -589,8 +592,9 @@ impl Art {
                 return Err(());
             }
             let b = node::key_byte(key, ndepth);
-            // SAFETY: pinned epoch.
-            let child = unsafe { node::find_child(p, b) };
+            // SAFETY: pinned epoch; optimistic read section — result
+            // discarded unless the validate below succeeds (§15).
+            let child = unsafe { node::find_child_racing(p, b) };
             if !hdr.version.validate(v) {
                 return Err(());
             }
@@ -962,8 +966,9 @@ impl Art {
                 };
             }
             let b = node::key_byte(key, depth);
-            // SAFETY: pinned epoch.
-            let child = unsafe { node::find_child(p, b) };
+            // SAFETY: pinned epoch; optimistic read section — result
+            // discarded unless the validate below succeeds (§15).
+            let child = unsafe { node::find_child_racing(p, b) };
             if !hdr.version.validate(v) {
                 return Err(());
             }

@@ -22,6 +22,10 @@ pub struct Row {
     pub value: Option<f64>,
     /// What `value` measures.
     pub metric: String,
+    /// SIMD kill-switch position the row was measured under, if the
+    /// experiment sweeps it (batch_lookup): `Some(true)` = vector
+    /// kernels on, `Some(false)` = forced scalar.
+    pub simd: Option<bool>,
     /// The host's available parallelism at run time. Always recorded:
     /// throughput numbers are meaningless without knowing how many
     /// cores produced them (ROADMAP trust item).
@@ -70,6 +74,7 @@ impl Row {
             p999_us: None,
             value: None,
             metric: String::new(),
+            simd: None,
             parallelism: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
@@ -112,6 +117,11 @@ impl Row {
         self.value = Some(v);
         self
     }
+    /// Tag the row with the SIMD kill-switch position it ran under.
+    pub fn simd(mut self, on: bool) -> Self {
+        self.simd = Some(on);
+        self
+    }
 
     /// Serialize to one compact JSON object, omitting unset optional
     /// fields (the shape `scripts/summarize_results.py` parses).
@@ -137,6 +147,9 @@ impl Row {
         if !self.metric.is_empty() {
             fields.push(format!("\"metric\":\"{}\"", json_escape(&self.metric)));
         }
+        if let Some(on) = self.simd {
+            fields.push(format!("\"simd\":\"{}\"", if on { "on" } else { "off" }));
+        }
         fields.push(format!("\"parallelism\":{}", self.parallelism));
         format!("{{{}}}", fields.join(","))
     }
@@ -159,6 +172,9 @@ impl Row {
         }
         if let Some(v) = self.value {
             line += &format!(" {}={v:.4}", self.metric);
+        }
+        if let Some(on) = self.simd {
+            line += &format!(" simd={}", if on { "on" } else { "off" });
         }
         println!("{line}");
         println!("#json {}", self.to_json());
@@ -205,6 +221,18 @@ mod tests {
         let js = r.to_json();
         assert!(js.contains("\"metric\":\"fast_pointers\""));
         assert!(js.contains("\"value\":42.0"));
+    }
+
+    #[test]
+    fn simd_tag_emits_on_off() {
+        let js = Row::new("batch_lookup").simd(true).to_json();
+        assert!(js.contains("\"simd\":\"on\""));
+        let js = Row::new("batch_lookup").simd(false).to_json();
+        assert!(js.contains("\"simd\":\"off\""));
+        assert!(
+            !Row::new("batch_lookup").to_json().contains("\"simd\""),
+            "untagged rows omit the field"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 mod chaos_hook;
 pub mod gpl;
+pub mod group;
 pub mod linear;
 pub mod lpa;
 pub mod optimal;
@@ -34,6 +35,7 @@ pub mod search;
 pub mod shrinking_cone;
 
 pub use gpl::{gpl_segment, gpl_segment_parallel, GplSegmenter, Segment};
+pub use group::predict_f_group;
 pub use linear::LinearModel;
 pub use lpa::lpa_segment;
 pub use optimal::{optimal_segment, optimal_segment_count};

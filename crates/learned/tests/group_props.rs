@@ -1,0 +1,83 @@
+//! Bit-equality properties for the grouped (vectorized) predict
+//! (ISSUE 7 satellite): `predict_f_group` must reproduce
+//! `LinearModel::predict_f` *bitwise* for arbitrary models and keys —
+//! that is what lets `alt_index::batch` swap it into the admission path
+//! with no behavioral gate (the predicted slot, after `clamp_pos`, is
+//! exactly the scalar path's slot).
+//!
+//! The CI `simd` job runs this suite with the vector kernels on and with
+//! `--features simd/force-scalar`.
+
+use learned::{predict_f_group, LinearModel};
+use proptest::prelude::*;
+
+fn models_and_keys() -> impl Strategy<Value = (Vec<LinearModel>, Vec<u64>)> {
+    proptest::collection::vec((any::<u64>(), any::<u64>(), 0u64..1_000_000), 0..40usize).prop_map(
+        |rows| {
+            let mut models = Vec::with_capacity(rows.len());
+            let mut keys = Vec::with_capacity(rows.len());
+            for (anchor, key, slope_millionths) in rows {
+                // Slopes span the realistic GPL range (0..1 positions per
+                // key unit) including exactly zero (point models).
+                models.push(LinearModel::new(anchor, slope_millionths as f64 * 1e-6));
+                keys.push(key);
+            }
+            (models, keys)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn group_predict_is_bitwise_scalar(mk in models_and_keys()) {
+        let (models, keys) = mk;
+        let mut out = vec![f64::NAN; keys.len()];
+        predict_f_group(&models, &keys, &mut out);
+        for i in 0..keys.len() {
+            let scalar = models[i].predict_f(keys[i]);
+            prop_assert_eq!(
+                out[i].to_bits(),
+                scalar.to_bits(),
+                "lane {}: group {} != scalar {} (model {:?}, key {})",
+                i, out[i], scalar, models[i], keys[i]
+            );
+        }
+    }
+
+    /// The slot actually probed (rounded + capacity-clamped) agrees with
+    /// `predict_clamped` for every capacity, which is the property the
+    /// batch admission path stands on.
+    #[test]
+    fn clamped_slots_agree(mk in models_and_keys(), cap in 1usize..10_000) {
+        let (models, keys) = mk;
+        let mut out = vec![f64::NAN; keys.len()];
+        predict_f_group(&models, &keys, &mut out);
+        for i in 0..keys.len() {
+            prop_assert_eq!(
+                LinearModel::clamp_pos(out[i], cap),
+                models[i].predict_clamped(keys[i], cap),
+                "lane {} capacity {}", i, cap
+            );
+        }
+    }
+}
+
+/// Below-anchor keys and anchor-equal keys must produce +0.0 (the scalar
+/// early return), regardless of slope sign.
+#[test]
+fn anchor_clamp_is_positive_zero() {
+    let models = [
+        LinearModel::new(1_000, 0.5),
+        LinearModel::new(1_000, 0.0),
+        LinearModel::new(u64::MAX, 1.0),
+    ];
+    let keys = [999u64, 1_000, 12345];
+    let mut out = [f64::NAN; 3];
+    predict_f_group(&models, &keys, &mut out);
+    for (i, o) in out.iter().enumerate() {
+        assert_eq!(o.to_bits(), 0.0f64.to_bits(), "lane {i}");
+        assert_eq!(o.to_bits(), models[i].predict_f(keys[i]).to_bits());
+    }
+}

@@ -1,0 +1,28 @@
+//! Force the scalar kernels under ThreadSanitizer.
+//!
+//! The SIMD child-search kernels perform deliberate racing vector loads
+//! whose results are discarded by OLC version validation (see
+//! DESIGN.md §15). TSan has no way to know a load's value is never
+//! trusted without revalidation, so it would report every such load as a
+//! data race. Rust's `#[cfg(sanitize = "thread")]` is nightly-only, so we
+//! sniff the sanitizer flag out of RUSTFLAGS here and compile the scalar
+//! (per-byte atomic) kernels instead — the dispatch layer, call sites,
+//! and memory-ordering structure stay identical, so the TSan job still
+//! exercises the new paths.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(simd_force_scalar_build)");
+    let mut flags = String::new();
+    if let Ok(enc) = std::env::var("CARGO_ENCODED_RUSTFLAGS") {
+        flags.push_str(&enc.replace('\u{1f}', " "));
+    }
+    if let Ok(plain) = std::env::var("RUSTFLAGS") {
+        flags.push(' ');
+        flags.push_str(&plain);
+    }
+    if flags.contains("sanitizer=thread") {
+        println!("cargo::rustc-cfg=simd_force_scalar_build");
+    }
+    println!("cargo::rerun-if-env-changed=RUSTFLAGS");
+    println!("cargo::rerun-if-env-changed=CARGO_ENCODED_RUSTFLAGS");
+}
