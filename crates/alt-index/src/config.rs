@@ -34,6 +34,15 @@ pub struct BgRetrainPolicy {
     /// Minimum pause between retrains drained by one worker
     /// (`Duration::ZERO` = no throttle).
     pub min_interval: Duration,
+    /// Consecutive contained background-retrain panics before the pool
+    /// trips **degraded mode**: background retrains stop being enqueued
+    /// and overflowing inserts fall back to contained inline retrains,
+    /// keeping a throughput floor while whatever is killing the workers
+    /// persists (DESIGN.md §16). Counted as `alt.degraded_mode_entries`.
+    pub fail_streak_limit: u32,
+    /// Consecutive *clean* inline retrains (while degraded) before the
+    /// pool leaves degraded mode and resumes background scheduling.
+    pub recover_after: u32,
 }
 
 impl Default for BgRetrainPolicy {
@@ -42,6 +51,8 @@ impl Default for BgRetrainPolicy {
             workers: 1,
             max_queue: 64,
             min_interval: Duration::ZERO,
+            fail_streak_limit: 3,
+            recover_after: 2,
         }
     }
 }

@@ -108,6 +108,10 @@ impl ModelDir {
     /// A new directory with models `[i]` replaced by `replacements`
     /// (already sorted; their span must tile `[old span)`).
     pub fn replace(&self, i: usize, replacements: Vec<Arc<GplModel>>) -> Self {
+        // The rebuild is private (the new directory isn't published
+        // until the caller's RCU swap): an injected panic here unwinds
+        // with the old directory still serving.
+        crate::fail_hook::point("dir.replace");
         let mut models = Vec::with_capacity(self.models.len() - 1 + replacements.len());
         models.extend_from_slice(&self.models[..i]);
         models.extend(replacements);

@@ -144,6 +144,14 @@ impl FastPointerBuffer {
     /// the escalation is simply [`NO_FAST`] — the model searches from
     /// the root (correct, just slower) instead of retrying forever.
     pub fn register(&self, art: &Art, k1: u64, k2: u64) -> u32 {
+        // Fault injection: a fast pointer is an optimization, so the
+        // graceful failure mode is *de-optimization* — hand back
+        // `NO_FAST` (the model walks from the ART root) and count it.
+        // Checked before the append lock so a Delay can't hold it.
+        if crate::fail_hook::should_fail("fastptr.install") {
+            crate::metrics_hook::fastptr_deopt();
+            return NO_FAST;
+        }
         // One logical registration, however many times the install loop
         // below retries: counting inside the loop inflated this metric by
         // one per `Obsolete` (node-replaced-under-us) retry, overstating

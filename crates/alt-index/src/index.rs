@@ -78,6 +78,30 @@ impl AltIndex {
     }
 }
 
+/// Snapshot of the fault-containment and self-healing counters kept by
+/// the index and its background retrain pool (see
+/// [`AltCore::fault_stats`] and DESIGN.md §16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Background retrain requests shed at admission or dropped
+    /// mid-drain (`alt.retrain_bg_dropped`).
+    pub bg_dropped: u64,
+    /// Background retrain executions that panicked and were contained
+    /// by the worker pool (`alt.retrain_bg_panics`).
+    pub bg_panics: u64,
+    /// Worker-loop restarts after a contained panic
+    /// (`alt.worker_respawns`).
+    pub worker_respawns: u64,
+    /// Transitions into degraded mode (`alt.degraded_mode_entries`).
+    pub degraded_mode_entries: u64,
+    /// Retrains aborted cleanly or rolled back after a contained inline
+    /// panic (`alt.retrain_rollbacks`).
+    pub retrain_rollbacks: u64,
+    /// Whether the pool is *currently* in degraded mode (background
+    /// scheduling suspended, overflows retraining inline, contained).
+    pub degraded: bool,
+}
+
 /// The index state and every operation on it: the model directory over
 /// gapped slot arrays, the ART-OPT conflict layer, and the fast-pointer
 /// buffer. [`AltIndex`] wraps this in an `Arc` so background retrain
@@ -99,6 +123,11 @@ pub struct AltCore {
     /// not) — the denominator for the paper's retrain-effectiveness
     /// accounting; `retrains` is the numerator.
     pub(crate) retrain_attempts: AtomicUsize,
+    /// Retrains that aborted cleanly (injected or real build/reconcile
+    /// failure) or whose contained inline panic was rolled back by the
+    /// drop-guards. Always-on so fault tests and benches can read it in
+    /// any build; mirrored into `obs` under the `metrics` feature.
+    pub(crate) rollbacks: AtomicUsize,
     /// Bumped immediately before every directory swap. Scans snapshot it
     /// before reading ART and re-check it after walking the slots: an
     /// unchanged epoch proves no retrain published (and therefore no
@@ -157,6 +186,7 @@ impl AltCore {
             len: AtomicUsize::new(pairs.len()),
             retrains: AtomicUsize::new(0),
             retrain_attempts: AtomicUsize::new(0),
+            rollbacks: AtomicUsize::new(0),
             dir_epoch: AtomicUsize::new(0),
             sched,
         };
@@ -167,6 +197,26 @@ impl AltCore {
     /// The configuration this index was built with.
     pub fn config(&self) -> &AltConfig {
         &self.cfg
+    }
+
+    /// Snapshot of the always-on fault/self-healing counters (DESIGN.md
+    /// §16). Available in every build — the `metrics` feature
+    /// additionally mirrors each event into the `obs` sink; the `fault`
+    /// feature is what makes the *injection* sites live.
+    pub fn fault_stats(&self) -> FaultStats {
+        let (bg_dropped, bg_panics, worker_respawns, degraded_mode_entries) = self
+            .sched
+            .as_ref()
+            .map(|s| s.fault_counts())
+            .unwrap_or((0, 0, 0, 0));
+        FaultStats {
+            bg_dropped,
+            bg_panics,
+            worker_respawns,
+            degraded_mode_entries,
+            retrain_rollbacks: self.rollbacks.load(Ordering::Relaxed) as u64,
+            degraded: self.sched.as_ref().is_some_and(|s| s.is_degraded()),
+        }
     }
 
     /// The GPL error bound in effect.

@@ -48,6 +48,7 @@ pub(crate) mod chaos_hook;
 pub mod config;
 pub(crate) mod contention;
 pub mod dir;
+pub(crate) mod fail_hook;
 pub mod fast_ptr;
 pub mod index;
 pub(crate) mod metrics_hook;
@@ -60,5 +61,5 @@ pub mod spin;
 pub mod stats;
 
 pub use config::{default_build_threads, AltConfig, BgRetrainPolicy, RetrainMode};
-pub use index::{AltCore, AltIndex};
+pub use index::{AltCore, AltIndex, FaultStats};
 pub use stats::{AltStats, ArtProbe};

@@ -74,6 +74,22 @@ mod real {
     pub(crate) fn retrain_bg_drained() {
         obs::incr(Counter::RetrainBgDrained);
     }
+    #[inline]
+    pub(crate) fn retrain_bg_panic() {
+        obs::incr(Counter::RetrainBgPanic);
+    }
+    #[inline]
+    pub(crate) fn worker_respawn() {
+        obs::incr(Counter::RetrainWorkerRespawn);
+    }
+    #[inline]
+    pub(crate) fn degraded_entry() {
+        obs::incr(Counter::RetrainDegradedEntry);
+    }
+    #[inline]
+    pub(crate) fn retrain_rollback() {
+        obs::incr(Counter::RetrainRollback);
+    }
     /// Process-wide escalation pressure feeding the background retrain
     /// queue's priorities: spans congested enough to force pessimistic
     /// fallbacks drain first.
@@ -189,6 +205,14 @@ mod real {
     pub(crate) fn retrain_bg_dropped() {}
     #[inline(always)]
     pub(crate) fn retrain_bg_drained() {}
+    #[inline(always)]
+    pub(crate) fn retrain_bg_panic() {}
+    #[inline(always)]
+    pub(crate) fn worker_respawn() {}
+    #[inline(always)]
+    pub(crate) fn degraded_entry() {}
+    #[inline(always)]
+    pub(crate) fn retrain_rollback() {}
     #[inline(always)]
     pub(crate) fn escalation_pressure() -> u64 {
         0

@@ -13,9 +13,11 @@
 use crate::adapt::plan_retrain;
 use crate::index::{segment_and_build, AltCore};
 use crate::model::{GplModel, NO_FAST};
+use crate::sched::SchedShared;
 use crate::slots::SlotState;
 use crossbeam_epoch as epoch;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -27,6 +29,22 @@ struct SpanSnapshot {
     slot_pairs: Vec<(u64, u64)>,
     art_pairs: Vec<(u64, u64)>,
     merged: Vec<(u64, u64)>,
+}
+
+/// Publish-completion guard for the swap→retire window. Armed
+/// immediately *after* the RCU swap (never before: marking the model
+/// retired while the old directory is still published would send every
+/// reader into an infinite retry loop), it stores `retired = true` on
+/// drop — including during an unwind — so a panic between the swap and
+/// the retire store can never leave readers consulting a replaced
+/// model's slots while writers target the new one (the lost-update
+/// hazard DESIGN.md §16 walks through).
+struct RetireOnDrop<'a>(&'a GplModel);
+
+impl Drop for RetireOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.retired.store(true, Ordering::Release);
+    }
 }
 
 impl AltCore {
@@ -58,8 +76,20 @@ impl AltCore {
     /// [`retrain_mode`](crate::config::AltConfig::retrain_mode).
     pub(crate) fn trigger_retrain(&self, key: u64) {
         let Some(sched) = &self.sched else {
-            return self.maybe_retrain(key);
+            // Inline mode: contain the structural path so a panic
+            // (injected or real) mid-retrain can't take the inserting
+            // thread — and with it the caller's whole workload — down.
+            self.contained_inline_retrain(key, None);
+            return;
         };
+        if sched.is_degraded() {
+            // Degraded mode: background scheduling is suspended after
+            // repeated worker panics; serve the overflow with a
+            // contained inline retrain (the throughput floor) and feed
+            // the recovery streak.
+            self.contained_inline_retrain(key, Some(sched));
+            return;
+        }
         let guard = epoch::pin();
         let m = self.dir_ref(&guard).model_for(key);
         if m.is_retired() || !m.wants_retrain() {
@@ -73,7 +103,43 @@ impl AltCore {
         let overflow = m.art_inserts.load(Ordering::Relaxed) as u64;
         let pressure = overflow.saturating_mul(256) / m.build_size.max(16) as u64;
         let priority = pressure.saturating_add(crate::metrics_hook::escalation_pressure());
-        sched.enqueue(m.first_key, key, priority);
+        // Containment: an injected panic at `sched.enqueue` unwinds to
+        // here, not into the inserting thread's caller. The request is
+        // simply lost — the next overflow insert re-triggers.
+        if catch_unwind(AssertUnwindSafe(|| {
+            sched.enqueue(m.first_key, key, priority)
+        }))
+        .is_err()
+        {
+            crate::metrics_hook::retrain_bg_dropped();
+        }
+    }
+
+    /// Run [`Self::maybe_retrain`] inside `catch_unwind`. A contained
+    /// panic counts as a rollback (the drop-guards inside the retrain
+    /// have already released every lock and completed or never started
+    /// the publish); in degraded mode the outcome feeds the scheduler's
+    /// recovery streak.
+    fn contained_inline_retrain(&self, key_hint: u64, sched: Option<&SchedShared>) {
+        match catch_unwind(AssertUnwindSafe(|| self.maybe_retrain(key_hint))) {
+            Ok(()) => {
+                if let Some(s) = sched {
+                    s.note_inline_result(true);
+                }
+            }
+            Err(_) => {
+                self.count_rollback();
+                if let Some(s) = sched {
+                    s.note_inline_result(false);
+                }
+            }
+        }
+    }
+
+    /// Count one rolled-back (or contained-after-publish) retrain.
+    pub(crate) fn count_rollback(&self) {
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::retrain_rollback();
     }
 
     /// Collect the span of `dir.models[mi]`: live slots + the ART range.
@@ -122,6 +188,10 @@ impl AltCore {
         let _wl = m.op_lock.write();
         let t_collect = crate::metrics_hook::now_ns();
 
+        // Failpoint inside the write-locked section: an injected panic
+        // here unwinds through `_wl` and `_dl` (both RAII-released) and
+        // is contained by `trigger_retrain`; no state has changed yet.
+        crate::fail_hook::point("retrain.collect");
         let snap = self.collect_span(dir, mi, m);
         let SpanSnapshot {
             slot_pairs,
@@ -142,6 +212,14 @@ impl AltCore {
         }
 
         let t_build = crate::metrics_hook::now_ns();
+        // Fallible build: an injected Error/AllocFail (or, one day, a
+        // real fallible-allocation failure) aborts the retrain cleanly
+        // before anything shared is touched. `art_inserts` is left high
+        // on purpose — the next overflow insert retries (self-healing).
+        if crate::fail_hook::should_fail("retrain.build") {
+            self.count_rollback();
+            return;
+        }
         let plan = plan_retrain(
             &merged,
             art_pairs.len(),
@@ -199,19 +277,30 @@ impl AltCore {
         let old = self
             .dir
             .swap(epoch::Owned::new(new_dir), Ordering::AcqRel, &guard);
+        // The new directory is now published: from here the old model
+        // MUST end up retired even if we unwind, or readers that cached
+        // it would keep serving replaced slots while writers target the
+        // new ones. The guard stores `retired` on drop (armed only
+        // after the swap — see its doc comment).
+        let retire_guard = RetireOnDrop(m);
         // SAFETY: `old` was just unlinked under `dir_lock`; readers still
         // holding it are protected by their epoch pins.
         unsafe { guard.defer_destroy(old) };
         // Widen the window between directory publication and the retired
         // flag — readers caught here must still find every key.
         crate::chaos_hook::point("retrain.post_swap");
-        m.retired.store(true, Ordering::Release);
+        crate::fail_hook::point("retrain.swap");
+        drop(retire_guard);
         crate::metrics_hook::retrain_swap_done(t_swap);
         let t_cleanup = crate::metrics_hook::now_ns();
 
         // Remove the ART keys the new slots absorbed (everything in the
         // span except the still-conflicting ones). Readers racing these
-        // deletes see `retired` and retry against the new directory.
+        // deletes see `retired` and retry against the new directory. A
+        // panic mid-pass leaves the remaining keys present in *both*
+        // layers — benign double presence the op paths already handle
+        // (the slot copy wins and the values are equal; the next retrain
+        // of the span merges them away).
         {
             let mut ci = 0usize;
             for &(k, _) in &art_pairs {
@@ -221,6 +310,7 @@ impl AltCore {
                 let still_conflicts = ci < conflicts.len() && conflicts[ci].0 == k;
                 if !still_conflicts {
                     crate::chaos_hook::point("retrain.absorb_remove");
+                    crate::fail_hook::point("retrain.absorb");
                     self.art.remove(k);
                 }
             }
@@ -282,6 +372,9 @@ impl AltCore {
         let t_collect = crate::metrics_hook::now_ns();
         let before = {
             let _wl = m.op_lock.write();
+            // Injected panic: unwinds through `_wl`/`_dl` (RAII) into
+            // the worker's `catch_unwind`; nothing has changed yet.
+            crate::fail_hook::point("retrain.collect");
             self.collect_span(dir, mi, m)
         };
         crate::metrics_hook::retrain_collect_done(t_collect);
@@ -295,6 +388,12 @@ impl AltCore {
         // Build off the write lock: concurrent inserts/updates/removes
         // proceed against the old layout and are reconciled below.
         let t_build = crate::metrics_hook::now_ns();
+        // Fallible build, as in the inline path: clean abort, trigger
+        // accounting left high so the next overflow insert retries.
+        if crate::fail_hook::should_fail("retrain.build") {
+            self.count_rollback();
+            return;
+        }
         let plan = plan_retrain(
             &before.merged,
             before.art_pairs.len(),
@@ -317,6 +416,13 @@ impl AltCore {
         // Phase 2: writers stalled again for reconcile + publish.
         let _wl = m.op_lock.write();
         let t_reconcile = crate::metrics_hook::now_ns();
+        // Fallible reconcile: aborting here discards the private build
+        // entirely — the old directory is still published, no shared
+        // state was touched, and the write lock releases on return.
+        if crate::fail_hook::should_fail("retrain.reconcile") {
+            self.count_rollback();
+            return;
+        }
         let after = self.collect_span(dir, mi, m);
         apply_delta(&models, &before.merged, &after.merged, &mut conflict_map);
         crate::metrics_hook::retrain_reconcile_done(t_reconcile);
@@ -351,20 +457,26 @@ impl AltCore {
         let old = self
             .dir
             .swap(epoch::Owned::new(new_dir), Ordering::AcqRel, &guard);
+        // Publish-completion guard, as in the inline path: armed only
+        // after the swap, stores `retired` even on unwind.
+        let retire_guard = RetireOnDrop(m);
         // SAFETY: `old` was just unlinked under `dir_lock`; readers still
         // holding it are protected by their epoch pins.
         unsafe { guard.defer_destroy(old) };
         crate::chaos_hook::point("retrain.post_swap");
-        m.retired.store(true, Ordering::Release);
+        crate::fail_hook::point("retrain.swap");
+        drop(retire_guard);
         crate::metrics_hook::retrain_swap_done(t_swap);
         let t_cleanup = crate::metrics_hook::now_ns();
 
         // Absorb pass over the *phase-2* ART snapshot: every span key
         // still in ART that the new slots absorbed gets deleted; the
-        // still-conflicting ones stay.
+        // still-conflicting ones stay. A panic mid-pass leaves benign
+        // double presence, exactly as inline.
         for &(k, _) in &after.art_pairs {
             if !conflict_map.contains_key(&k) {
                 crate::chaos_hook::point("retrain.absorb_remove");
+                crate::fail_hook::point("retrain.absorb");
                 self.art.remove(k);
             }
         }

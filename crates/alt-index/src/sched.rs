@@ -20,7 +20,9 @@
 use crate::config::BgRetrainPolicy;
 use crate::index::AltCore;
 use std::collections::{BinaryHeap, HashSet};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -81,6 +83,37 @@ pub(crate) struct SchedShared {
     /// `quiesce` callers wait here for the queue to drain.
     idle: Condvar,
     policy: BgRetrainPolicy,
+    /// Requests shed at admission or dropped mid-drain. Always-on (the
+    /// `metrics` feature additionally mirrors it into `obs`) so fault
+    /// tests and benches can observe it in any build.
+    dropped: AtomicU64,
+    /// Background retrain executions contained by `catch_unwind`.
+    bg_panics: AtomicU64,
+    /// Worker-loop restarts after a contained panic. Workers are
+    /// contained in place, not re-spawned as OS threads (DESIGN.md §16),
+    /// but each restart is a "respawn" event in the fault model.
+    respawns: AtomicU64,
+    /// Transitions into degraded mode.
+    degraded_entries: AtomicU64,
+    /// Degraded mode flag: background scheduling suspended, overflows
+    /// fall back to contained inline retrains.
+    degraded: AtomicBool,
+    /// Consecutive contained worker panics (reset by a clean drain).
+    fail_streak: AtomicU32,
+    /// Consecutive clean inline retrains while degraded (recovery).
+    clean_streak: AtomicU32,
+}
+
+/// Runs [`SchedShared::done`] when dropped, so an in-flight request is
+/// marked finished **even if the retrain it guards panics** — otherwise
+/// a contained (or uncontained) panic would leave `in_flight` forever
+/// nonzero and every `quiesce()` caller parked on the `idle` condvar.
+struct InFlightGuard<'a>(&'a SchedShared);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.done();
+    }
 }
 
 impl SchedShared {
@@ -90,17 +123,50 @@ impl SchedShared {
             work: Condvar::new(),
             idle: Condvar::new(),
             policy,
+            dropped: AtomicU64::new(0),
+            bg_panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            degraded_entries: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            fail_streak: AtomicU32::new(0),
+            clean_streak: AtomicU32::new(0),
         }
+    }
+
+    /// Lock the queue, recovering from poison: the shim `parking_lot`
+    /// build never poisons, and under std mutexes a worker that panicked
+    /// while holding the queue lock has left it in a consistent state
+    /// (every critical section below is a few field updates with no
+    /// intermediate invariant-breaking point — see DESIGN.md §16).
+    fn lock_q(&self) -> MutexGuard<'_, Queue> {
+        self.q.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Enqueue a retrain request for the span starting at `span_key`.
     /// Returns false if the request was shed (queue full, span already
     /// queued, or shutdown in progress).
     pub(crate) fn enqueue(&self, span_key: u64, key_hint: u64, priority: u64) -> bool {
+        // Failpoint before the lock (an injected Delay must not sleep
+        // holding it; an injected Panic unwinds into the caller's
+        // containment in `trigger_retrain`). Error/AllocFail shed the
+        // request — the next overflow insert simply re-enqueues.
+        if crate::fail_hook::should_fail("sched.enqueue") {
+            self.count_dropped();
+            return false;
+        }
+        self.enqueue_unchecked(span_key, key_hint, priority)
+    }
+
+    /// [`Self::enqueue`] minus the fault-injection point — used by the
+    /// worker pool to re-enqueue a span whose retrain panicked, so a
+    /// persistent injection at `sched.enqueue` can't turn one contained
+    /// panic into an infinite inject→re-enqueue loop.
+    pub(crate) fn enqueue_unchecked(&self, span_key: u64, key_hint: u64, priority: u64) -> bool {
         crate::chaos_hook::point("retrain.bg.enqueue");
-        let mut q = self.q.lock().unwrap();
+        let mut q = self.lock_q();
         if q.shutdown || q.heap.len() >= self.policy.max_queue.max(1) {
-            crate::metrics_hook::retrain_bg_dropped();
+            drop(q);
+            self.count_dropped();
             return false;
         }
         if !q.pending_spans.insert(span_key) {
@@ -125,7 +191,7 @@ impl SchedShared {
     /// Block until a request is available (returns it) or shutdown
     /// (returns `None`).
     fn pop(&self) -> Option<Request> {
-        let mut q = self.q.lock().unwrap();
+        let mut q = self.lock_q();
         loop {
             if q.shutdown {
                 return None;
@@ -135,13 +201,13 @@ impl SchedShared {
                 q.in_flight += 1;
                 return Some(r);
             }
-            q = self.work.wait(q).unwrap();
+            q = self.work.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Mark one popped request finished.
     fn done(&self) {
-        let mut q = self.q.lock().unwrap();
+        let mut q = self.lock_q();
         q.in_flight -= 1;
         if q.drained() {
             self.idle.notify_all();
@@ -151,20 +217,20 @@ impl SchedShared {
     /// Block until every queued and in-flight request has finished (or
     /// shutdown began, after which no further draining is guaranteed).
     pub(crate) fn quiesce(&self) {
-        let mut q = self.q.lock().unwrap();
+        let mut q = self.lock_q();
         while !q.drained() && !q.shutdown {
-            q = self.idle.wait(q).unwrap();
+            q = self.idle.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Queued (not yet popped) request count.
     #[cfg(test)]
     fn depth(&self) -> usize {
-        self.q.lock().unwrap().heap.len()
+        self.lock_q().heap.len()
     }
 
     fn shutdown(&self) {
-        self.q.lock().unwrap().shutdown = true;
+        self.lock_q().shutdown = true;
         self.work.notify_all();
         self.idle.notify_all();
     }
@@ -172,7 +238,7 @@ impl SchedShared {
     /// Rate-limit between drained retrains. Returns false on shutdown.
     fn throttle(&self) -> bool {
         let dur = self.policy.min_interval;
-        let mut q = self.q.lock().unwrap();
+        let mut q = self.lock_q();
         if dur.is_zero() {
             return !q.shutdown;
         }
@@ -187,9 +253,76 @@ impl SchedShared {
             }
             // Spurious wakeups (including notify for new work) just
             // re-check the deadline; the worker stays throttled.
-            let (g, _) = self.work.wait_timeout(q, deadline - now).unwrap();
+            let (g, _) = self
+                .work
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             q = g;
         }
+    }
+
+    fn count_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::retrain_bg_dropped();
+    }
+
+    /// Whether the pool is in degraded mode (background scheduling
+    /// suspended; overflows retrain inline, contained).
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Record one contained background-retrain panic. Returns true when
+    /// this panic tripped the fail-streak limit and *entered* degraded
+    /// mode (at most once per degraded episode).
+    fn note_panic(&self) -> bool {
+        self.bg_panics.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::retrain_bg_panic();
+        let streak = self.fail_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.policy.fail_streak_limit.max(1)
+            && !self.degraded.swap(true, Ordering::Relaxed)
+        {
+            self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+            crate::metrics_hook::degraded_entry();
+            return true;
+        }
+        false
+    }
+
+    /// Record one clean background drain: resets the fail streak.
+    fn note_bg_clean(&self) {
+        self.fail_streak.store(0, Ordering::Relaxed);
+    }
+
+    /// Record the outcome of a contained inline retrain run *because*
+    /// the pool is degraded. `recover_after` consecutive clean runs end
+    /// the degraded episode and resume background scheduling.
+    pub(crate) fn note_inline_result(&self, ok: bool) {
+        if !self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        if !ok {
+            self.clean_streak.store(0, Ordering::Relaxed);
+            return;
+        }
+        let streak = self.clean_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.policy.recover_after.max(1) {
+            self.clean_streak.store(0, Ordering::Relaxed);
+            self.fail_streak.store(0, Ordering::Relaxed);
+            self.degraded.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Always-on fault counters, in declaration order: requests
+    /// shed/dropped, contained background panics, worker respawns,
+    /// degraded-mode entries.
+    pub(crate) fn fault_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.dropped.load(Ordering::Relaxed),
+            self.bg_panics.load(Ordering::Relaxed),
+            self.respawns.load(Ordering::Relaxed),
+            self.degraded_entries.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -213,6 +346,12 @@ impl Drop for SchedHandle {
 /// Spawn the worker pool over a weak reference to the core. Workers
 /// upgrade per request; a failed upgrade (the index is being dropped)
 /// ends the worker.
+///
+/// Every drained retrain runs inside `catch_unwind`: a panic (injected
+/// or real) is contained, counted, and the worker "respawns" — the loop
+/// continues in place, so the OS thread survives and the queue keeps
+/// draining. Repeated consecutive panics trip degraded mode (see
+/// [`SchedShared::note_panic`] and DESIGN.md §16).
 pub(crate) fn spawn_workers(shared: Arc<SchedShared>, core: Weak<AltCore>) -> SchedHandle {
     let n = shared.policy.workers.max(1);
     let workers = (0..n)
@@ -223,18 +362,62 @@ pub(crate) fn spawn_workers(shared: Arc<SchedShared>, core: Weak<AltCore>) -> Sc
                 .name(format!("alt-retrain-{i}"))
                 .spawn(move || {
                     while let Some(req) = shared.pop() {
-                        crate::chaos_hook::point("retrain.bg.drain");
-                        crate::metrics_hook::retrain_bg_drained();
-                        let alive = match core.upgrade() {
-                            Some(core) => {
-                                core.retrain_background(req.key_hint);
-                                true
-                            }
-                            None => false,
+                        // The guard marks the request finished even if
+                        // the retrain panics — without it, quiesce()
+                        // waiters would hang forever on `in_flight`
+                        // (satellite: shutdown ordering under panic).
+                        let outcome = {
+                            let _in_flight = InFlightGuard(&shared);
+                            catch_unwind(AssertUnwindSafe(|| {
+                                crate::chaos_hook::point("retrain.bg.drain");
+                                if crate::fail_hook::should_fail("sched.drain") {
+                                    // Injected Error: drop this request
+                                    // on the floor; the next overflow
+                                    // insert for the span re-enqueues.
+                                    shared.count_dropped();
+                                    return true;
+                                }
+                                crate::metrics_hook::retrain_bg_drained();
+                                match core.upgrade() {
+                                    Some(core) => {
+                                        core.retrain_background(req.key_hint);
+                                        true
+                                    }
+                                    None => false,
+                                }
+                            }))
                         };
-                        shared.done();
-                        if !alive || !shared.throttle() {
-                            break;
+                        match outcome {
+                            Ok(alive) => {
+                                shared.note_bg_clean();
+                                if !alive || !shared.throttle() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                // Contained panic. `retrain_background`'s
+                                // drop-guards have already rolled partial
+                                // state back (locks released, publish
+                                // completed or never started).
+                                shared.note_panic();
+                                shared.respawns.fetch_add(1, Ordering::Relaxed);
+                                crate::metrics_hook::worker_respawn();
+                                if !shared.is_degraded() {
+                                    // Give the span another chance — but
+                                    // never from inside a degraded
+                                    // episode, and via the unchecked path
+                                    // so a persistent enqueue injection
+                                    // can't loop.
+                                    shared.enqueue_unchecked(
+                                        req.span_key,
+                                        req.key_hint,
+                                        req.priority,
+                                    );
+                                }
+                                if !shared.throttle() {
+                                    break;
+                                }
+                            }
                         }
                     }
                 })
@@ -254,6 +437,7 @@ mod tests {
             workers: 1,
             max_queue,
             min_interval: Duration::ZERO,
+            ..Default::default()
         }
     }
 
@@ -312,11 +496,72 @@ mod tests {
     }
 
     #[test]
+    fn quiesce_survives_a_panicking_drain() {
+        // Regression: a worker panicking mid-retrain used to skip
+        // `done()`, leaving `in_flight` nonzero and every quiesce()
+        // caller parked forever. The InFlightGuard must run `done()`
+        // during unwind.
+        let s = Arc::new(SchedShared::new(policy(16)));
+        assert!(s.enqueue(10, 11, 1));
+        let r = s.pop().unwrap();
+        assert_eq!(r.span_key, 10);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let _g = InFlightGuard(&s);
+            panic!("injected worker death");
+        }));
+        assert!(res.is_err());
+        s.quiesce(); // must return: the guard marked the request done
+        assert!(s.lock_q().drained());
+    }
+
+    #[test]
+    fn degraded_mode_trips_after_streak_and_recovers() {
+        // Defaults: fail_streak_limit = 3, recover_after = 2.
+        let s = SchedShared::new(policy(16));
+        assert!(!s.is_degraded());
+        assert!(!s.note_panic());
+        assert!(!s.note_panic());
+        assert!(s.note_panic(), "third consecutive panic trips degraded");
+        assert!(s.is_degraded());
+        assert!(!s.note_panic(), "re-entry is not counted twice");
+        assert_eq!(s.fault_counts().3, 1, "one degraded-mode entry");
+        assert_eq!(s.fault_counts().1, 4, "every contained panic counted");
+
+        // Recovery needs `recover_after` *consecutive* clean inlines.
+        s.note_inline_result(true);
+        assert!(s.is_degraded(), "one clean inline is not enough");
+        s.note_inline_result(false);
+        s.note_inline_result(true);
+        assert!(s.is_degraded(), "failed inline reset the recovery streak");
+        s.note_inline_result(true);
+        assert!(!s.is_degraded(), "two consecutive clean inlines recover");
+
+        // The fail streak was reset on recovery: it takes a full new
+        // streak to re-enter.
+        assert!(!s.note_panic());
+        assert!(!s.note_panic());
+        assert!(s.note_panic());
+        assert_eq!(s.fault_counts().3, 2);
+    }
+
+    #[test]
+    fn clean_drain_resets_the_fail_streak() {
+        let s = SchedShared::new(policy(16));
+        assert!(!s.note_panic());
+        assert!(!s.note_panic());
+        s.note_bg_clean();
+        assert!(!s.note_panic(), "streak restarted after a clean drain");
+        assert!(!s.note_panic());
+        assert!(s.note_panic());
+    }
+
+    #[test]
     fn throttle_observes_shutdown() {
         let s = Arc::new(SchedShared::new(BgRetrainPolicy {
             workers: 1,
             max_queue: 16,
             min_interval: Duration::from_secs(60),
+            ..Default::default()
         }));
         let s2 = Arc::clone(&s);
         let t = std::thread::spawn(move || s2.throttle());

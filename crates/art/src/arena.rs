@@ -100,6 +100,11 @@ impl Class {
     }
 
     fn alloc(&self, shard_id: usize) -> *mut u8 {
+        // Failpoint checked before taking the shard lock (an injected
+        // Delay must not sleep while holding it).
+        if crate::fail_hook::should_fail("art.arena.alloc") {
+            return self.alloc_fallback();
+        }
         let mut sh = self.shards[shard_id % SHARDS]
             .lock()
             .unwrap_or_else(|e| e.into_inner());
@@ -111,9 +116,23 @@ impl Class {
             // the arena is process-global (see module docs).
             let bytes = self.slot * SLOTS_PER_CHUNK;
             let layout = std::alloc::Layout::from_size_align(bytes, 64).unwrap();
+            let grow_failed = crate::fail_hook::should_fail("art.arena.grow");
             // SAFETY: `layout` has nonzero size.
-            let chunk = unsafe { std::alloc::alloc(layout) };
-            assert!(!chunk.is_null(), "arena chunk allocation failed");
+            let chunk = if grow_failed {
+                std::ptr::null_mut()
+            } else {
+                unsafe { std::alloc::alloc(layout) }
+            };
+            if chunk.is_null() {
+                // Chunk growth failed (injected or a real OOM). Don't
+                // take the whole insert down: serve this one request
+                // from a direct single-slot allocation and leave the
+                // shard's bump region unchanged, so the next alloc
+                // retries growth. The slot is class-sized, so a later
+                // `dealloc` recycles it through the free list normally.
+                drop(sh);
+                return self.alloc_fallback();
+            }
             sh.bump = chunk as usize;
             sh.end = chunk as usize + bytes;
             ALLOCATED_BYTES.fetch_add(bytes, Ordering::Relaxed);
@@ -121,6 +140,23 @@ impl Class {
         let p = sh.bump;
         sh.bump += self.slot;
         p as *mut u8
+    }
+
+    /// Degraded-path allocation: one class-sized slot straight from the
+    /// system allocator, used when chunk growth fails or a fault is
+    /// injected at a handout site. Panics only if even the single-slot
+    /// allocation fails — at that point the process is genuinely out of
+    /// memory and an ART write cannot be completed soundly.
+    #[cold]
+    fn alloc_fallback(&self) -> *mut u8 {
+        ALLOC_FAILS.fetch_add(1, Ordering::Relaxed);
+        crate::metrics_hook::arena_alloc_fail();
+        let layout = std::alloc::Layout::from_size_align(self.slot, 64).unwrap();
+        // SAFETY: `layout` has nonzero size.
+        let p = unsafe { std::alloc::alloc(layout) };
+        assert!(!p.is_null(), "arena single-slot fallback allocation failed");
+        ALLOCATED_BYTES.fetch_add(self.slot, Ordering::Relaxed);
+        p
     }
 
     fn dealloc(&self, p: *mut u8, shard_id: usize) {
@@ -142,6 +178,11 @@ static CLASSES: [Class; 5] = [
 /// Total bytes of chunk memory ever requested from the system allocator
 /// (monotonic; chunks are never returned). Exposed for tests/stats.
 static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Allocations served by the single-slot fallback after a chunk-growth
+/// failure or an injected fault. Always-on (plain relaxed atomic) so
+/// tests and benches can read it without the `metrics` feature.
+static ALLOC_FAILS: AtomicUsize = AtomicUsize::new(0);
 
 std::thread_local! {
     static SHARD_ID: usize = {
@@ -195,6 +236,12 @@ pub fn arena_allocated_bytes() -> usize {
     ALLOCATED_BYTES.load(Ordering::Relaxed)
 }
 
+/// Monotonic count of allocations that failed (injected or real chunk
+/// exhaustion) and were served by the single-slot fallback instead.
+pub fn arena_alloc_fail_count() -> usize {
+    ALLOC_FAILS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,7 +283,9 @@ mod tests {
         // Drain any recycled slots first so both come from the bump.
         let cls = class_of_size(64);
         let drain: Vec<*mut u8> = std::iter::from_fn(|| {
-            let mut sh = cls.shards[shard_id() % SHARDS].lock().unwrap();
+            let mut sh = cls.shards[shard_id() % SHARDS]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             sh.free.pop().map(|p| p as *mut u8)
         })
         .collect();

@@ -1,0 +1,30 @@
+//! Forwarders to the `failpoint` fault-injection registry, compiled away
+//! entirely unless the `fault` feature is enabled — the same pattern as
+//! [`crate::chaos_hook`] for the chaos testkit.
+//!
+//! Sites instrumented in this crate: `art.arena.alloc` (slot handout) and
+//! `art.arena.grow` (slab-chunk refill), both in `arena.rs`.
+//!
+//! Arena sites map **every** injected action — including Panic — onto the
+//! allocator's native failure channel (a failed allocation, handled by
+//! the single-slot fallback). Unwinding out of the allocator would
+//! convert an injected fault into an un-contained hang: node allocation
+//! runs inside ART's optimistic-lock-coupling write sections, and a panic
+//! there strands version locks that have no RAII release (see
+//! DESIGN.md §16, unwind-safety audit).
+
+/// Returns true when any action was injected at `site` (the arena treats
+/// it as an allocation failure). Delay injections sleep and return false
+/// (`failpoint::fire` executes the sleep internally).
+#[cfg(feature = "fault")]
+#[inline]
+pub(crate) fn should_fail(site: &'static str) -> bool {
+    failpoint::fire(site).is_some()
+}
+
+/// Fault-injection check (disabled build): always false, folds away.
+#[cfg(not(feature = "fault"))]
+#[inline(always)]
+pub(crate) fn should_fail(_site: &'static str) -> bool {
+    false
+}

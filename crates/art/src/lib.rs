@@ -29,6 +29,7 @@ pub(crate) mod arena;
 mod batch;
 pub(crate) mod chaos_hook;
 pub(crate) mod contention;
+pub(crate) mod fail_hook;
 mod jump;
 pub(crate) mod metrics_hook;
 // Exposed (unstably) for the scalar-vs-SIMD equivalence suite
@@ -41,7 +42,7 @@ mod scan;
 mod stats;
 mod tree;
 
-pub use arena::arena_allocated_bytes;
+pub use arena::{arena_alloc_fail_count, arena_allocated_bytes};
 pub use batch::{BatchCursor, BatchStep, RING_WIDTH};
 pub use node::{key_byte, key_bytes, NodePtr, NodeType, MAX_PREFIX, NO_SLOT};
 pub use olc::VersionLock;

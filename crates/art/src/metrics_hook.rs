@@ -47,6 +47,10 @@ mod real {
     pub(crate) fn batch_restart() {
         obs::incr(Counter::ArtBatchRestart);
     }
+    #[inline]
+    pub(crate) fn arena_alloc_fail() {
+        obs::incr(Counter::ArenaAllocFail);
+    }
 }
 
 #[cfg(not(feature = "metrics"))]
@@ -68,6 +72,8 @@ mod real {
     pub(crate) fn batch_prefetch() {}
     #[inline(always)]
     pub(crate) fn batch_restart() {}
+    #[inline(always)]
+    pub(crate) fn arena_alloc_fail() {}
 }
 
 pub(crate) use real::*;

@@ -13,8 +13,12 @@
 //! by `scripts/run_all_experiments.sh`):
 //!
 //! * one summary row per (workload, mode): overall `mops`, with
-//!   `value`/`metric` rows for total retrains and the min/median bucket
-//!   throughput ratio (1.0 = perfectly flat, lower = deeper stall);
+//!   `value`/`metric` rows for total retrains, the min/median bucket
+//!   throughput ratio (1.0 = perfectly flat, lower = deeper stall), and
+//!   the always-on fault/self-healing counters (`retrain_bg_dropped`,
+//!   `retrain_bg_panics`, `worker_respawns`, `degraded_mode_entries`,
+//!   `retrain_rollbacks` — nonzero only when the queue sheds or the
+//!   `fault` feature injects failures);
 //! * one timeline row per bucket: `x` = bucket start in ms, `mops` =
 //!   that bucket's throughput.
 //!
@@ -60,7 +64,7 @@ fn run_mode(
     background: bool,
     plan: &ShiftPlan,
     args: &Args,
-) -> (TimedResult, usize, usize) {
+) -> (TimedResult, usize, usize, alt_index::FaultStats) {
     let cfg = if background {
         alt_index::AltConfig::background()
     } else {
@@ -76,7 +80,8 @@ fn run_mode(
     let r = run_streams_timed(&*idx, streams, args.bucket_ms);
     idx.retrain_quiesce();
     assert_eq!(r.failed_inserts, 0, "{label}: shift streams are disjoint");
-    (r, idx.retrain_count(), ConcurrentIndex::len(&*idx))
+    let faults = idx.fault_stats();
+    (r, idx.retrain_count(), ConcurrentIndex::len(&*idx), faults)
 }
 
 fn main() {
@@ -102,7 +107,7 @@ fn main() {
             if !args.wants_index(label) {
                 continue;
             }
-            let (r, retrains, len) = run_mode(label, background, &plan, &args);
+            let (r, retrains, len, faults) = run_mode(label, background, &plan, &args);
             lens.push((label, len));
             Row::new("retrain_shift")
                 .index(label)
@@ -117,6 +122,22 @@ fn main() {
                 .workload("summary")
                 .value("retrains", retrains as f64)
                 .emit();
+            // Fault/self-healing counters (always-on; nonzero only when
+            // the queue sheds or the `fault` feature injects failures).
+            for (metric, v) in [
+                ("retrain_bg_dropped", faults.bg_dropped as f64),
+                ("retrain_bg_panics", faults.bg_panics as f64),
+                ("worker_respawns", faults.worker_respawns as f64),
+                ("degraded_mode_entries", faults.degraded_mode_entries as f64),
+                ("retrain_rollbacks", faults.retrain_rollbacks as f64),
+            ] {
+                Row::new("retrain_shift")
+                    .index(label)
+                    .dataset(kind.label())
+                    .workload("summary")
+                    .value(metric, v)
+                    .emit();
+            }
             for (i, m) in r.bucket_mops().iter().enumerate() {
                 Row::new("retrain_shift")
                     .index(label)

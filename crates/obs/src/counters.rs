@@ -143,11 +143,29 @@ pub enum Counter {
     /// Group prefetches issued by the baselines' batched lookups (first
     /// -level node/group/model lines fetched ahead of sequential probes).
     BaselineBatchPrefetch,
+    /// Background retrain executions that panicked and were contained by
+    /// the worker pool's `catch_unwind` (injected or real).
+    RetrainBgPanic,
+    /// Worker-loop restarts after a contained panic — the pool's
+    /// "respawn" events (workers are contained in place, not re-spawned
+    /// as OS threads; see DESIGN.md §16).
+    RetrainWorkerRespawn,
+    /// Transitions into degraded mode: repeated background-retrain
+    /// failures tripped the fail-streak limit and retrains fell back to
+    /// contained inline execution.
+    RetrainDegradedEntry,
+    /// Retrains rolled back cleanly before publishing: an injected (or
+    /// real) failure mid-collect/build/reconcile discarded the private
+    /// build and released every lock, leaving the old directory serving.
+    RetrainRollback,
+    /// Arena chunk-growth or slot allocations that failed (injected or
+    /// real) and were served by the single-slot fallback path instead.
+    ArenaAllocFail,
 }
 
 impl Counter {
     /// All counters, in rendering order.
-    pub const ALL: [Counter; 39] = [
+    pub const ALL: [Counter; 44] = [
         Counter::SlotReadRetry,
         Counter::SlotLockRetry,
         Counter::FastPtrJumpHit,
@@ -187,6 +205,11 @@ impl Counter {
         Counter::ArtBatchPrefetch,
         Counter::ArtBatchRestart,
         Counter::BaselineBatchPrefetch,
+        Counter::RetrainBgPanic,
+        Counter::RetrainWorkerRespawn,
+        Counter::RetrainDegradedEntry,
+        Counter::RetrainRollback,
+        Counter::ArenaAllocFail,
     ];
 
     /// Stable dotted `layer.event` name used in reports and bench JSON.
@@ -231,6 +254,11 @@ impl Counter {
             Counter::ArtBatchPrefetch => "art.batch_prefetch",
             Counter::ArtBatchRestart => "art.batch_restart",
             Counter::BaselineBatchPrefetch => "baseline.batch_prefetch",
+            Counter::RetrainBgPanic => "alt.retrain_bg_panics",
+            Counter::RetrainWorkerRespawn => "alt.worker_respawns",
+            Counter::RetrainDegradedEntry => "alt.degraded_mode_entries",
+            Counter::RetrainRollback => "alt.retrain_rollbacks",
+            Counter::ArenaAllocFail => "art.arena_alloc_fails",
         }
     }
 }
