@@ -1,0 +1,319 @@
+//! Serving-path throughput: the region router + async batched front-end
+//! under an open-ended fan of simulated connections (DESIGN.md §17).
+//!
+//! Each *connection* is an async task on the shimmed tokio runtime that
+//! issues zipfian point lookups back-to-back. Three serving modes are
+//! measured at every connection count:
+//!
+//! * `direct`  — each connection calls `ConcurrentIndex::get` in a loop
+//!   (no front-end; the zero-overhead reference),
+//! * `perkey`  — every request goes through a [`region::BatchServer`]
+//!   with `ring_width = 1`, i.e. classic request-at-a-time serving with
+//!   the front-end's queue/completion machinery,
+//! * `batched` — the same front-end with a real ring width, so
+//!   concurrent in-flight requests accumulate into AMAC `get_batch`
+//!   rings (one submission queue per region shard).
+//!
+//! `batched` vs `perkey` therefore isolates what batching buys on the
+//! serving path; `direct` shows the front-end's intrinsic overhead.
+//! Rows record throughput of *served* requests, sampled P99.9 latency,
+//! and the shed rate (admission control rejects rather than queueing
+//! unboundedly once `--max-depth` requests are in flight). A final
+//! `saturation_mops` row per mode reports the best throughput over the
+//! connection sweep, plus a `batched_vs_perkey` speedup row.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin service_throughput -- \
+//!     --keys 2m --threads 8 --ops 20k --datasets fb \
+//!     --connections 8,64,512 --shards 4 --ring 32
+//! ```
+
+use alt_index::AltIndex;
+use bench::report::banner;
+use bench::{Args, Row, Setup};
+use datasets::rng::SplitMix64;
+use index_api::ConcurrentIndex;
+use region::{BatchServer, RegionConfig, RegionIndex, ServeConfig, ServeError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workloads::{LatencyHistogram, Zipf};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Direct,
+    PerKey,
+    Batched,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Direct => "direct",
+            Mode::PerKey => "perkey",
+            Mode::Batched => "batched",
+        }
+    }
+}
+
+/// Outcome of one mode × connection-count measurement.
+struct Measured {
+    mops: f64,
+    p999_us: f64,
+    shed_rate: f64,
+    /// Mean `get_batch` ring occupancy (1.0 in per-key/direct modes).
+    avg_batch: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    index: &Arc<dyn ConcurrentIndex>,
+    loaded: &Arc<Vec<u64>>,
+    mode: Mode,
+    conns: usize,
+    reqs_per_conn: usize,
+    workers: usize,
+    ring: usize,
+    max_depth: usize,
+    burst: usize,
+    theta: f64,
+    seed: u64,
+) -> Measured {
+    let server = match mode {
+        Mode::Direct => None,
+        Mode::PerKey | Mode::Batched => Some(Arc::new(BatchServer::new(
+            Arc::clone(index),
+            ServeConfig {
+                ring_width: if mode == Mode::Batched { ring } else { 1 },
+                max_depth,
+                flush_interval: Duration::from_micros(100),
+            },
+        ))),
+    };
+    let rt = Arc::new(
+        tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(workers)
+            .build()
+            .expect("runtime"),
+    );
+    // One shared sampler: `Zipf::new` precomputes a zeta sum over the
+    // whole key count, far too expensive to redo per connection.
+    let zipf = Arc::new(Zipf::new(loaded.len().max(1) as u64, theta));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let index = Arc::clone(index);
+            let server = server.clone();
+            let loaded = Arc::clone(loaded);
+            let zipf = Arc::clone(&zipf);
+            let rt2 = Arc::clone(&rt);
+            rt.spawn(async move {
+                let mut rng =
+                    SplitMix64::new(seed ^ (c as u64).wrapping_mul(0x5851_F42D_4C95_7F2D));
+                let key_at = |rng: &mut SplitMix64| {
+                    let rank = zipf.sample(rng) as usize;
+                    loaded[rank.wrapping_mul(0x9E37_79B9) % loaded.len()]
+                };
+                let mut hist = LatencyHistogram::new();
+                let (mut served, mut shed) = (0u64, 0u64);
+                if burst > 1 {
+                    // Open-loop bursts: fire a window of requests as
+                    // concurrent tasks, then collect — demand is not
+                    // throttled by individual completions, so admission
+                    // control genuinely engages under overload.
+                    let srv = server.expect("burst mode requires the serving front-end");
+                    for _ in 0..reqs_per_conn.div_ceil(burst) {
+                        let reqs: Vec<_> = (0..burst)
+                            .map(|_| {
+                                let srv = Arc::clone(&srv);
+                                let key = key_at(&mut rng);
+                                rt2.spawn(async move {
+                                    let t0 = Instant::now();
+                                    (srv.get(key).await, t0.elapsed())
+                                })
+                            })
+                            .collect();
+                        for h in reqs {
+                            let (res, lat) = h.await.expect("request task");
+                            match res {
+                                Ok(_) => {
+                                    served += 1;
+                                    hist.record(lat.as_nanos() as u64);
+                                }
+                                Err(ServeError::Overloaded) => shed += 1,
+                                Err(ServeError::Shutdown) => panic!("server shut down mid-run"),
+                            }
+                        }
+                    }
+                } else {
+                    // Closed loop: one request at a time per connection.
+                    for i in 0..reqs_per_conn {
+                        let key = key_at(&mut rng);
+                        let sample = i % 8 == 0;
+                        let t0 = sample.then(Instant::now);
+                        let ok = match &server {
+                            None => {
+                                let _ = index.get(key);
+                                true
+                            }
+                            Some(srv) => match srv.get(key).await {
+                                Ok(_) => true,
+                                Err(ServeError::Overloaded) => false,
+                                Err(ServeError::Shutdown) => panic!("server shut down mid-run"),
+                            },
+                        };
+                        if ok {
+                            served += 1;
+                            if let Some(t0) = t0 {
+                                hist.record(t0.elapsed().as_nanos() as u64);
+                            }
+                        } else {
+                            shed += 1;
+                        }
+                    }
+                }
+                (hist, served, shed)
+            })
+        })
+        .collect();
+    let (mut all, mut served, mut shed) = (LatencyHistogram::new(), 0u64, 0u64);
+    rt.block_on(async {
+        for h in handles {
+            let (hist, s, d) = h.await.expect("connection task");
+            all.merge(&hist);
+            served += s;
+            shed += d;
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    drop(rt);
+    let avg_batch = match &server {
+        Some(srv) => {
+            let st = srv.stats();
+            st.batched_keys as f64 / st.flushes.max(1) as f64
+        }
+        None => 1.0,
+    };
+    drop(server);
+    Measured {
+        mops: served as f64 / secs / 1e6,
+        p999_us: all.quantile(0.999) as f64 / 1_000.0,
+        shed_rate: shed as f64 / (served + shed).max(1) as f64,
+        avg_batch,
+    }
+}
+
+fn main() {
+    // Split off the sweep flags before the common parser.
+    let mut connections: Vec<usize> = vec![4, 32, 256];
+    let mut shards = 4usize;
+    let mut ring = 32usize;
+    let mut max_depth = 4096usize;
+    let mut burst = 1usize;
+    let mut rest = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        let mut val = |flag: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--connections" => {
+                connections = val("--connections")
+                    .split(',')
+                    .map(|s| s.parse().expect("--connections list"))
+                    .collect();
+            }
+            "--shards" => shards = val("--shards").parse().expect("--shards"),
+            "--ring" => ring = val("--ring").parse().expect("--ring"),
+            "--max-depth" => max_depth = val("--max-depth").parse().expect("--max-depth"),
+            "--burst" => burst = val("--burst").parse().expect("--burst"),
+            _ => rest.push(a),
+        }
+    }
+    assert!(burst >= 1, "--burst must be at least 1");
+    let args = Args::parse_from(rest);
+    banner(
+        "service_throughput",
+        &format!(
+            "keys={} threads={} reqs/conn={} connections={connections:?} shards={shards} ring={ring} max_depth={max_depth} burst={burst}",
+            args.keys, args.threads, args.ops
+        ),
+    );
+
+    for &ds in &args.datasets {
+        let setup = Setup::half(ds, args.keys, args.seed);
+        let region = RegionIndex::<AltIndex>::bulk_load_with(
+            &setup.bulk,
+            RegionConfig {
+                initial_shards: shards,
+                construction_threads: args.construction_threads(),
+                ..RegionConfig::default()
+            },
+        );
+        assert_eq!(region.shard_count(), shards.clamp(1, 64));
+        let index: Arc<dyn ConcurrentIndex> = Arc::new(region);
+        let loaded = Arc::new(setup.loaded_keys());
+
+        let modes = [Mode::Direct, Mode::PerKey, Mode::Batched];
+        let mut best = [0.0f64; 3];
+        for &conns in &connections {
+            for (mi, &mode) in modes.iter().enumerate() {
+                // Open-loop bursts only make sense through the front-end.
+                let mode_burst = if mode == Mode::Direct { 1 } else { burst };
+                let m = run_mode(
+                    &index,
+                    &loaded,
+                    mode,
+                    conns,
+                    args.ops,
+                    args.threads,
+                    ring,
+                    max_depth,
+                    mode_burst,
+                    args.theta,
+                    args.seed,
+                );
+                best[mi] = best[mi].max(m.mops);
+                Row::new("service_throughput")
+                    .index("ALT-region")
+                    .dataset(ds.name())
+                    .workload(&format!("{}+shards{shards}", mode.label()))
+                    .x(conns as f64)
+                    .mops(m.mops)
+                    .p999(m.p999_us)
+                    .value("shed_rate", m.shed_rate)
+                    .emit();
+                if mode == Mode::Batched {
+                    Row::new("service_throughput")
+                        .index("ALT-region")
+                        .dataset(ds.name())
+                        .workload(&format!("{}+shards{shards}", mode.label()))
+                        .x(conns as f64)
+                        .value("avg_batch", m.avg_batch)
+                        .emit();
+                }
+            }
+        }
+        // Saturation summary: best served throughput over the sweep.
+        for (mi, &mode) in modes.iter().enumerate() {
+            Row::new("service_throughput")
+                .index("ALT-region")
+                .dataset(ds.name())
+                .workload(&format!("{}+shards{shards}", mode.label()))
+                .mops(best[mi])
+                .value("saturation_mops", best[mi])
+                .emit();
+        }
+        Row::new("service_throughput")
+            .index("ALT-region")
+            .dataset(ds.name())
+            .workload(&format!("batched+shards{shards}"))
+            .value(
+                "batched_vs_perkey",
+                best[2] / best[1].max(f64::MIN_POSITIVE),
+            )
+            .emit();
+    }
+
+    bench::metrics::emit_if_requested(&args, "service_throughput");
+}

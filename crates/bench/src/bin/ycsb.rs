@@ -11,15 +11,21 @@
 //! `--batch N` (N >= 2) routes runs of consecutive reads through
 //! `get_batch` in N-wide flushes (see `DriverConfig::batch`); rows are
 //! then labelled `<mix>+batchN`.
+//!
+//! `--ycsb d|e` switches from the percentage mixes to the YCSB D
+//! (latest-read) or E (scan-heavy) scenario generators; rows are then
+//! labelled `ycsb-d` / `ycsb-e` and `--mix`/`--batch` are ignored.
 
 use bench::report::banner;
 use bench::{Args, IndexKind, Row, Setup};
-use workloads::{run_workload, DriverConfig, Mix};
+use workloads::{run_streams, run_workload, DriverConfig, Mix, YcsbKind, YcsbPlan};
 
 fn main() {
-    // Split off the extra --mix / --batch flags before the common parser.
+    // Split off the extra --mix / --batch / --ycsb flags before the
+    // common parser.
     let mut mix = Mix::BALANCED;
     let mut batch = 0usize;
+    let mut ycsb: Option<YcsbKind> = None;
     let mut rest = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -33,23 +39,23 @@ fn main() {
             mix = Mix::new(parts[0], parts[1], parts[2]);
         } else if a == "--batch" {
             batch = argv.next().expect("--batch N").parse().expect("--batch");
+        } else if a == "--ycsb" {
+            let v = argv.next().expect("--ycsb d|e");
+            ycsb = Some(YcsbKind::parse(&v).expect("--ycsb d|e"));
         } else {
             rest.push(a);
         }
     }
     let args = Args::parse_from(rest);
+    let mix_label = match ycsb {
+        Some(kind) => kind.label().to_string(),
+        None => format!("{}/{}/{}", mix.read_pct, mix.insert_pct, mix.scan_pct),
+    };
     banner(
         "ycsb",
         &format!(
-            "mix={}/{}/{} keys={} threads={} ops/thread={} theta={} batch={}",
-            mix.read_pct,
-            mix.insert_pct,
-            mix.scan_pct,
-            args.keys,
-            args.threads,
-            args.ops,
-            args.theta,
-            batch
+            "mix={} keys={} threads={} ops/thread={} theta={} batch={}",
+            mix_label, args.keys, args.threads, args.ops, args.theta, batch
         ),
     );
     let kinds = [
@@ -69,18 +75,35 @@ fn main() {
                 continue;
             }
             let idx = kind.build_threaded(&setup.bulk, args.construction_threads());
-            let plan = setup.plan(mix, args.theta, args.seed);
-            let cfg = DriverConfig {
-                threads: args.threads,
-                ops_per_thread: args.ops,
-                latency_sample_every: 8,
-                batch,
-            };
-            let r = run_workload(&idx, &plan, &cfg);
-            let workload = if batch >= 2 {
-                format!("{}+batch{batch}", mix.label())
+            let (r, workload) = if let Some(kind) = ycsb {
+                let plan = YcsbPlan::new(
+                    setup.loaded_keys(),
+                    setup.reserve.clone(),
+                    kind,
+                    args.theta,
+                    args.seed,
+                );
+                let streams: Vec<_> = (0..args.threads)
+                    .map(|t| plan.stream(t, args.threads, args.ops))
+                    .collect();
+                (
+                    run_streams(idx.as_ref(), streams, 8),
+                    kind.label().to_string(),
+                )
             } else {
-                mix.label().to_string()
+                let plan = setup.plan(mix, args.theta, args.seed);
+                let cfg = DriverConfig {
+                    threads: args.threads,
+                    ops_per_thread: args.ops,
+                    latency_sample_every: 8,
+                    batch,
+                };
+                let workload = if batch >= 2 {
+                    format!("{}+batch{batch}", mix.label())
+                } else {
+                    mix.label().to_string()
+                };
+                (run_workload(&idx, &plan, &cfg), workload)
             };
             Row::new("ycsb")
                 .index(kind.name())

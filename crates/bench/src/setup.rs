@@ -22,7 +22,7 @@ impl Setup {
     /// insert workload requires.
     pub fn new(dataset: Dataset, keys: usize, bulk_ratio: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&bulk_ratio));
-        let pairs = generate_pairs(dataset, keys, seed);
+        let pairs = Self::pairs(dataset, keys, seed);
         let mut bulk = Vec::with_capacity((keys as f64 * bulk_ratio) as usize + 1);
         let mut reserve = Vec::with_capacity(keys - bulk.capacity() + 1);
         // Interleaved split: take ratio-fraction into bulk round-robin.
@@ -48,6 +48,16 @@ impl Setup {
         Self::new(dataset, keys, 0.5, seed)
     }
 
+    /// Source pairs for a dataset: a real SOSD file under
+    /// `$ALT_SOSD_DIR` when present (see [`datasets::sosd`]), otherwise
+    /// the synthetic generator.
+    fn pairs(dataset: Dataset, keys: usize, seed: u64) -> Vec<(u64, u64)> {
+        match datasets::maybe_load(dataset, keys) {
+            Some(pairs) => pairs,
+            None => generate_pairs(dataset, keys, seed),
+        }
+    }
+
     /// The loaded key array (for read workloads).
     pub fn loaded_keys(&self) -> Vec<u64> {
         self.bulk.iter().map(|p| p.0).collect()
@@ -62,9 +72,9 @@ impl Setup {
     /// (10% of the dataset, taken from the middle) instead of a uniform
     /// sample, so insertions hammer one region and trigger retraining.
     pub fn hot_write(dataset: Dataset, keys: usize, seed: u64) -> Self {
-        let pairs = generate_pairs(dataset, keys, seed);
-        let start = keys / 2;
-        let hot = keys / 10;
+        let pairs = Self::pairs(dataset, keys, seed);
+        let start = pairs.len() / 2;
+        let hot = pairs.len() / 10;
         let reserve: Vec<u64> = pairs[start..start + hot].iter().map(|p| p.0).collect();
         let bulk: Vec<(u64, u64)> = pairs[..start]
             .iter()

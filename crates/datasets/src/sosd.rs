@@ -1,0 +1,199 @@
+//! Loader for SOSD-format key files, so real benchmark datasets can be
+//! substituted for the synthetic generators in [`crate::gen`].
+//!
+//! The SOSD benchmark suite (`learnedsystems/SOSD`) ships datasets as a
+//! flat binary file: one little-endian `u64` element count followed by
+//! exactly that many little-endian `u64` keys. [`load_sosd`] reads that
+//! format strictly (truncated or oversized files are errors, not silent
+//! prefixes), and [`maybe_load`] resolves a [`Dataset`] to
+//! `$ALT_SOSD_DIR/<name>_uint64`, returning `None` — never failing the
+//! run — when the env var or file is absent so every benchmark binary
+//! can *prefer* real data without requiring it.
+//!
+//! Loaded keys are sanitized the same way the generators are: sorted,
+//! deduplicated, and stripped of the reserved key 0; values are derived
+//! with [`crate::gen::value_for`].
+
+use crate::gen::{value_for, Dataset};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Environment variable naming the directory that holds SOSD files.
+pub const SOSD_DIR_ENV: &str = "ALT_SOSD_DIR";
+
+/// The SOSD file name for a dataset (`fb_uint64`, `osm_uint64`, ...).
+pub fn sosd_file_name(dataset: Dataset) -> String {
+    format!("{}_uint64", dataset.name())
+}
+
+/// Write `keys` to `path` in SOSD format (count header + keys, all
+/// little-endian `u64`). Used by tests and by users converting their own
+/// key sets.
+pub fn write_sosd(path: &Path, keys: &[u64]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    let mut buf = Vec::with_capacity(8 * (keys.len() + 1));
+    buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+    for &k in keys {
+        buf.extend_from_slice(&k.to_le_bytes());
+    }
+    f.write_all(&buf)?;
+    f.flush()
+}
+
+/// Read a SOSD file: an 8-byte little-endian count, then exactly that
+/// many little-endian `u64` keys. Rejects truncated files and trailing
+/// garbage.
+pub fn load_sosd(path: &Path) -> io::Result<Vec<u64>> {
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    if bytes.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "SOSD file shorter than its 8-byte count header",
+        ));
+    }
+    let count = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let want = 8 + count
+        .checked_mul(8)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "SOSD count overflows"))?;
+    if bytes.len() != want {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "SOSD file length {} does not match header count {count} (want {want})",
+                bytes.len()
+            ),
+        ));
+    }
+    Ok(bytes[8..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Load up to `n` sanitized `(key, value)` pairs for `dataset` from
+/// `$ALT_SOSD_DIR/<name>_uint64`, or `None` when the env var is unset or
+/// the file is missing/unreadable (the caller then falls back to the
+/// synthetic generator). Keys are sorted, deduplicated, and key 0 is
+/// dropped; when the file holds more than `n` keys an evenly strided
+/// sample preserves the distribution shape.
+pub fn maybe_load(dataset: Dataset, n: usize) -> Option<Vec<(u64, u64)>> {
+    let dir = std::env::var_os(SOSD_DIR_ENV)?;
+    let path = Path::new(&dir).join(sosd_file_name(dataset));
+    let mut keys = match load_sosd(&path) {
+        Ok(keys) => keys,
+        Err(e) => {
+            if e.kind() != io::ErrorKind::NotFound {
+                eprintln!("warning: ignoring SOSD file {}: {e}", path.display());
+            }
+            return None;
+        }
+    };
+    keys.sort_unstable();
+    keys.dedup();
+    if keys.first() == Some(&0) {
+        keys.remove(0);
+    }
+    if keys.is_empty() || n == 0 {
+        return None;
+    }
+    let pairs: Vec<(u64, u64)> = if keys.len() > n {
+        // Evenly strided sample keeps the CDF shape of the full file.
+        (0..n)
+            .map(|i| {
+                let k = keys[i * keys.len() / n];
+                (k, value_for(k))
+            })
+            .collect()
+    } else {
+        keys.into_iter().map(|k| (k, value_for(k))).collect()
+    };
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("alt_sosd_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_and_rejects_corruption() {
+        let path = tmp("roundtrip");
+        let keys: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6, u64::MAX];
+        write_sosd(&path, &keys).unwrap();
+        assert_eq!(load_sosd(&path).unwrap(), keys);
+
+        // Truncate mid-key: must error, not yield a prefix.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load_sosd(&path).is_err());
+
+        // Short header.
+        std::fs::write(&path, [1u8, 2, 3]).unwrap();
+        assert!(load_sosd(&path).is_err());
+
+        // Trailing garbage past the declared count.
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&42u64.to_le_bytes());
+        std::fs::write(&path, &extended).unwrap();
+        assert!(load_sosd(&path).is_err());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let path = tmp("empty");
+        write_sosd(&path, &[]).unwrap();
+        assert_eq!(load_sosd(&path).unwrap(), Vec::<u64>::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    // The env-var dependent paths of `maybe_load` are covered in one
+    // test because `set_var` is process-global and tests run in
+    // parallel.
+    #[test]
+    fn maybe_load_sanitizes_samples_and_skips_gracefully() {
+        let dir = tmp("dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Unsorted, duplicated, zero-containing fixture.
+        let keys: Vec<u64> = vec![0, 7, 3, 7, 1, 9, 5, 3, 11, 2, 8, 4];
+        write_sosd(&dir.join(sosd_file_name(Dataset::Fb)), &keys).unwrap();
+
+        std::env::set_var(SOSD_DIR_ENV, &dir);
+
+        let pairs = maybe_load(Dataset::Fb, 100).expect("fixture present");
+        let got: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(
+            got,
+            vec![1, 2, 3, 4, 5, 7, 8, 9, 11],
+            "sorted/deduped/no-zero"
+        );
+        for &(k, v) in &pairs {
+            assert_eq!(v, value_for(k));
+        }
+
+        // Strided sampling: ask for fewer than present, stay sorted and
+        // within the file's key set.
+        let sampled = maybe_load(Dataset::Fb, 4).expect("fixture present");
+        assert_eq!(sampled.len(), 4);
+        assert!(sampled.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(sampled.iter().all(|p| got.contains(&p.0)));
+
+        // Missing file for another dataset: graceful None.
+        assert!(maybe_load(Dataset::Osm, 100).is_none());
+
+        // Unset env: graceful None.
+        std::env::remove_var(SOSD_DIR_ENV);
+        assert!(maybe_load(Dataset::Fb, 100).is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

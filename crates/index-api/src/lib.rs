@@ -102,6 +102,33 @@ pub trait ConcurrentIndex: Send + Sync {
         }
     }
 
+    /// Number of independent batch-submission domains this index exposes.
+    ///
+    /// A *batch domain* is a partition of the key space whose keys are
+    /// worth accumulating into the **same** [`ConcurrentIndex::get_batch`]
+    /// ring: keys from one domain share the structures an AMAC engine
+    /// overlaps (one directory, one tree), so batching them together
+    /// actually hides the cache misses. A serving front-end keeps one
+    /// submission queue per domain and flushes each queue as its own
+    /// `get_batch` call (see `crates/region::BatchServer`).
+    ///
+    /// Monolithic indexes are one domain (the default). The range-sharded
+    /// region router overrides this with its live shard count — the
+    /// domain map is a **routing hint**, not a correctness contract:
+    /// `get_batch` must answer correctly for any key mix regardless of
+    /// domain, and the count may go stale while shards split/merge.
+    fn batch_domains(&self) -> usize {
+        1
+    }
+
+    /// The batch-submission domain `key` currently maps to, in
+    /// `0..self.batch_domains()`. See [`ConcurrentIndex::batch_domains`];
+    /// the default single-domain mapping sends every key to domain 0.
+    fn batch_domain_of(&self, key: Key) -> usize {
+        let _ = key;
+        0
+    }
+
     /// Range scan: append every `(key, value)` with `lo <= key <= hi` to
     /// `out`, in ascending key order. Returns the number of entries
     /// appended.
@@ -355,6 +382,19 @@ mod tests {
     fn get_batch_rejects_short_out_buffer() {
         let idx = RefIndex(Mutex::new(BTreeMap::new()));
         idx.get_batch(&[1, 2, 3], &mut [None; 2]);
+    }
+
+    #[test]
+    fn batch_domains_default_is_single() {
+        let idx = RefIndex(Mutex::new(BTreeMap::new()));
+        assert_eq!(idx.batch_domains(), 1);
+        for k in [0u64, 1, 42, Key::MAX] {
+            assert_eq!(idx.batch_domain_of(k), 0);
+        }
+        // Object safety: the domain map must be reachable through a
+        // trait object (the serving front-end holds `dyn ConcurrentIndex`).
+        let dyn_idx: &dyn ConcurrentIndex = &idx;
+        assert_eq!(dyn_idx.batch_domains(), 1);
     }
 
     #[test]

@@ -24,7 +24,8 @@ struct Shard(AtomicU64);
 ///
 /// The `alt.*` counters cover the ALT-index proper (§III of the paper),
 /// `art.*` the ART-OPT substrate, `baseline.*` the seqlock/RCU
-/// primitives every baseline index is built on. See `DESIGN.md`
+/// primitives every baseline index is built on, and `region.*` the
+/// range-sharded router + batched serving front-end. See `DESIGN.md`
 /// ("Observability") for what each one means and which paper figure it
 /// supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,11 +162,24 @@ pub enum Counter {
     /// Arena chunk-growth or slot allocations that failed (injected or
     /// real) and were served by the single-slot fallback path instead.
     ArenaAllocFail,
+    /// Region-router shard splits published (two-phase copy + route-table
+    /// swap; see DESIGN.md §17).
+    RegionSplit,
+    /// Region-router shard merges published (adjacent cold shards
+    /// coalesced back into one).
+    RegionMerge,
+    /// Keys copied between shard indexes by splits and merges.
+    RegionMigratedKeys,
+    /// Operations that re-routed because the shard they resolved turned
+    /// out to be retired (a split/merge published mid-flight).
+    RegionRouteRetry,
+    /// Batches the serving front-end flushed into `get_batch` rings.
+    RegionBatchFlush,
 }
 
 impl Counter {
     /// All counters, in rendering order.
-    pub const ALL: [Counter; 44] = [
+    pub const ALL: [Counter; 49] = [
         Counter::SlotReadRetry,
         Counter::SlotLockRetry,
         Counter::FastPtrJumpHit,
@@ -210,6 +224,11 @@ impl Counter {
         Counter::RetrainDegradedEntry,
         Counter::RetrainRollback,
         Counter::ArenaAllocFail,
+        Counter::RegionSplit,
+        Counter::RegionMerge,
+        Counter::RegionMigratedKeys,
+        Counter::RegionRouteRetry,
+        Counter::RegionBatchFlush,
     ];
 
     /// Stable dotted `layer.event` name used in reports and bench JSON.
@@ -259,6 +278,11 @@ impl Counter {
             Counter::RetrainDegradedEntry => "alt.degraded_mode_entries",
             Counter::RetrainRollback => "alt.retrain_rollbacks",
             Counter::ArenaAllocFail => "art.arena_alloc_fails",
+            Counter::RegionSplit => "region.split",
+            Counter::RegionMerge => "region.merge",
+            Counter::RegionMigratedKeys => "region.migrated_keys",
+            Counter::RegionRouteRetry => "region.route_retries",
+            Counter::RegionBatchFlush => "region.batch_flushes",
         }
     }
 }

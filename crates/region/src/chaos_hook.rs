@@ -1,0 +1,22 @@
+//! Forwarders to `testkit`'s chaos engine, compiled away entirely unless
+//! the `chaos` feature is enabled — the same pattern as the hooks in
+//! `alt-index` and `art`.
+//!
+//! Sites instrumented in this crate: `region.split` (between the
+//! unfrozen phase-1 copy and the frozen phase-2 reconcile, where
+//! concurrent writers race the copied snapshot) and `region.swap` (just
+//! before the routing-table publish, where readers race the retirement
+//! of the old shards).
+
+/// Schedule-perturbation point. No-op (inlined empty fn) without the
+/// `chaos` feature.
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn point(site: &'static str) {
+    testkit::chaos::point(site);
+}
+
+/// Schedule-perturbation point (disabled build): compiles to nothing.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn point(_site: &'static str) {}

@@ -1,0 +1,52 @@
+//! Forwarders to the `obs` metrics sink, compiled away entirely unless
+//! the `metrics` feature is enabled — the same pattern as
+//! [`crate::chaos_hook`].
+//!
+//! Sites instrumented in this crate: shard splits and merges and the
+//! keys they migrate (`structure.rs`), reader re-routes after observing
+//! a retired shard (`router.rs`), and serving-front-end batch flushes
+//! (`serve.rs`).
+
+#[cfg(feature = "metrics")]
+mod real {
+    use obs::Counter;
+
+    #[inline]
+    pub(crate) fn split() {
+        obs::incr(Counter::RegionSplit);
+    }
+    #[inline]
+    pub(crate) fn merge() {
+        obs::incr(Counter::RegionMerge);
+    }
+    #[inline]
+    pub(crate) fn migrated_keys(n: usize) {
+        obs::add(Counter::RegionMigratedKeys, n as u64);
+    }
+    #[inline]
+    pub(crate) fn route_retry() {
+        obs::incr(Counter::RegionRouteRetry);
+    }
+    #[inline]
+    pub(crate) fn batch_flush() {
+        obs::incr(Counter::RegionBatchFlush);
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod real {
+    // Disabled build: every hook is an empty inlined function, so call
+    // sites fold away to nothing.
+    #[inline(always)]
+    pub(crate) fn split() {}
+    #[inline(always)]
+    pub(crate) fn merge() {}
+    #[inline(always)]
+    pub(crate) fn migrated_keys(_n: usize) {}
+    #[inline(always)]
+    pub(crate) fn route_retry() {}
+    #[inline(always)]
+    pub(crate) fn batch_flush() {}
+}
+
+pub(crate) use real::*;

@@ -96,6 +96,102 @@ impl TimedResult {
     }
 }
 
+/// Run one explicit operation stream per thread with sampled latency
+/// measurement — [`run_workload`]'s measurement (throughput + P50/P99/
+/// P99.9), but over caller-supplied streams (e.g.
+/// [`crate::YcsbPlan::stream`]) instead of a [`WorkloadPlan`].
+pub fn run_streams<I, S>(index: &I, streams: Vec<S>, latency_sample_every: usize) -> RunResult
+where
+    I: ConcurrentIndex + ?Sized + Sync,
+    S: Iterator<Item = Op> + Send,
+{
+    let sample_every = latency_sample_every.max(1);
+    let barrier = Barrier::new(streams.len().max(1));
+    let per_thread: Vec<(f64, LatencyHistogram, usize, usize, usize, usize)> =
+        std::thread::scope(|s| {
+            let barrier = &barrier;
+            let handles: Vec<_> = streams
+                .into_iter()
+                .map(|stream| {
+                    s.spawn(move || {
+                        let mut lat = LatencyHistogram::new();
+                        let mut scan_buf: Vec<(u64, u64)> = Vec::with_capacity(128);
+                        let mut reads = 0usize;
+                        let mut hits = 0usize;
+                        let mut failed = 0usize;
+                        let mut n = 0usize;
+                        barrier.wait();
+                        let start = Instant::now();
+                        for op in stream {
+                            let sampled = n.is_multiple_of(sample_every);
+                            let t0 = if sampled { Some(Instant::now()) } else { None };
+                            match op {
+                                Op::Read(k) => {
+                                    reads += 1;
+                                    if index.get(k).is_some() {
+                                        hits += 1;
+                                    }
+                                }
+                                Op::Insert(k, v) => {
+                                    if index.insert(k, v).is_err() {
+                                        failed += 1;
+                                    }
+                                }
+                                Op::Remove(k) => {
+                                    index.remove(k);
+                                }
+                                Op::Scan(k, len) => {
+                                    scan_buf.clear();
+                                    index.scan(k, len, &mut scan_buf);
+                                }
+                            }
+                            if let Some(t0) = t0 {
+                                lat.record(t0.elapsed().as_nanos() as u64);
+                            }
+                            n += 1;
+                        }
+                        (start.elapsed().as_secs_f64(), lat, n, reads, hits, failed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+    let mut all_lat = LatencyHistogram::new();
+    let mut max_secs = 0.0f64;
+    let mut total_ops = 0usize;
+    let mut reads = 0usize;
+    let mut read_hits = 0usize;
+    let mut failed_inserts = 0usize;
+    for (secs, lat, n, r, h, f) in per_thread {
+        max_secs = max_secs.max(secs);
+        all_lat.merge(&lat);
+        total_ops += n;
+        reads += r;
+        read_hits += h;
+        failed_inserts += f;
+    }
+    let pct = |p: f64| -> f64 { all_lat.quantile(p) as f64 / 1_000.0 };
+    RunResult {
+        total_ops,
+        secs: max_secs,
+        mops: if max_secs > 0.0 {
+            total_ops as f64 / max_secs / 1e6
+        } else {
+            0.0
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        read_hits,
+        reads,
+        failed_inserts,
+    }
+}
+
 /// Run one explicit operation stream per thread, recording per-bucket
 /// op completions — the throughput-over-time measurement behind the
 /// retrain-stall curves. Unlike [`run_workload`] the streams are

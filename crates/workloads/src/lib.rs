@@ -9,6 +9,8 @@
 //!   pool, 100-key scans.
 //! * [`shift`] — distribution-shift streams (monotonic append, rolling
 //!   window, sudden mid-run shift) for exercising retraining.
+//! * [`ycsb`] — YCSB scenarios D (latest-read) and E (scan-heavy), the
+//!   two shapes the classic mixes don't cover.
 //! * [`driver`] — spawns N threads over any
 //!   [`index_api::ConcurrentIndex`], measuring throughput and sampled
 //!   P50/P99/P99.9 latencies; [`driver::run_streams_timed`] additionally
@@ -23,11 +25,15 @@ pub mod histogram;
 pub mod mix;
 pub mod ops;
 pub mod shift;
+pub mod ycsb;
 pub mod zipf;
 
-pub use driver::{run_streams_timed, run_workload, DriverConfig, RunResult, TimedResult};
+pub use driver::{
+    run_streams, run_streams_timed, run_workload, DriverConfig, RunResult, TimedResult,
+};
 pub use histogram::LatencyHistogram;
 pub use mix::{Mix, Op};
 pub use ops::{OpStream, WorkloadPlan};
 pub use shift::{ShiftKind, ShiftPlan, ShiftStream};
+pub use ycsb::{YcsbKind, YcsbPlan, YcsbStream};
 pub use zipf::Zipf;

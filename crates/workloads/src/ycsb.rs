@@ -1,0 +1,325 @@
+//! YCSB workloads D (latest-read) and E (scan-heavy) — the two core
+//! scenarios the classic mixes in [`crate::mix`] don't cover.
+//!
+//! * **D** is 95% reads / 5% inserts where reads target *recently
+//!   inserted* keys: each read samples a zipfian rank over a fixed-size
+//!   recency window holding the thread's latest inserts (newest first)
+//!   backed by the tail of the bulk-loaded keys. This is YCSB's
+//!   "latest" distribution, restricted to keys the thread can prove are
+//!   present (own inserts + loaded keys), so recall stays checkable and
+//!   streams stay deterministic and thread-disjoint.
+//! * **E** is 95% scans / 5% inserts with zipfian scan starts over the
+//!   loaded keys and uniform scan lengths in `1..=max_scan_len`
+//!   (YCSB draws the length uniformly; the paper's fixed-length scan
+//!   workload lives in [`crate::mix::Mix::SCAN`]).
+//!
+//! Inserts draw from disjoint per-thread slices of the reserve pool,
+//! exactly like [`crate::ops::WorkloadPlan`]; an exhausted slice
+//! degrades to the workload's read/scan op so throughput numbers stay
+//! comparable.
+
+use crate::mix::Op;
+use crate::zipf::Zipf;
+use datasets::rng::SplitMix64;
+use std::sync::Arc;
+
+/// Which YCSB scenario to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbKind {
+    /// 95% latest-reads / 5% inserts.
+    D,
+    /// 95% scans / 5% inserts.
+    E,
+}
+
+impl YcsbKind {
+    /// Display label used in benchmark rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbKind::D => "ycsb-d",
+            YcsbKind::E => "ycsb-e",
+        }
+    }
+
+    /// Parse `"d"` / `"e"` (any case).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "d" | "ycsb-d" => Some(YcsbKind::D),
+            "e" | "ycsb-e" => Some(YcsbKind::E),
+            _ => None,
+        }
+    }
+}
+
+/// Shared inputs for generating YCSB D/E per-thread streams.
+pub struct YcsbPlan {
+    /// Keys present after the bulk load.
+    pub loaded: Arc<Vec<u64>>,
+    /// Keys reserved for insertion, pre-shuffled.
+    pub reserve: Arc<Vec<u64>>,
+    /// The scenario.
+    pub kind: YcsbKind,
+    /// Zipfian skew for the latest-window (D) and scan starts (E).
+    pub theta: f64,
+    /// Recency-window size for D's latest-reads.
+    pub window: usize,
+    /// Maximum scan length for E (lengths are uniform in `1..=this`).
+    pub max_scan_len: usize,
+    /// Base RNG seed; thread id is mixed in.
+    pub seed: u64,
+}
+
+impl YcsbPlan {
+    /// Plan over loaded keys and a reserve pool (shuffled here with the
+    /// same deterministic Fisher-Yates as [`crate::ops::WorkloadPlan`]).
+    pub fn new(
+        loaded: Vec<u64>,
+        mut reserve: Vec<u64>,
+        kind: YcsbKind,
+        theta: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A);
+        for i in (1..reserve.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            reserve.swap(i, j);
+        }
+        Self {
+            loaded: Arc::new(loaded),
+            reserve: Arc::new(reserve),
+            kind,
+            theta,
+            window: 256,
+            max_scan_len: 100,
+            seed,
+        }
+    }
+
+    /// Build the operation stream for one of `threads` workers, `ops`
+    /// operations long.
+    pub fn stream(&self, thread: usize, threads: usize, ops: usize) -> YcsbStream {
+        assert!(thread < threads);
+        let per = self.reserve.len() / threads.max(1);
+        let lo = thread * per;
+        let hi = if thread + 1 == threads {
+            self.reserve.len()
+        } else {
+            lo + per
+        };
+        let window = self.window.max(1);
+        YcsbStream {
+            loaded: Arc::clone(&self.loaded),
+            reserve: Arc::clone(&self.reserve),
+            next_reserve: lo,
+            reserve_end: hi,
+            kind: self.kind,
+            zipf: Zipf::new(window as u64, self.theta),
+            inserted: Vec::new(),
+            max_scan_len: self.max_scan_len.max(1),
+            rng: SplitMix64::new(self.seed ^ (thread as u64).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+            remaining: ops,
+        }
+    }
+}
+
+/// A lazily generated YCSB D/E operation stream for one thread.
+pub struct YcsbStream {
+    loaded: Arc<Vec<u64>>,
+    reserve: Arc<Vec<u64>>,
+    next_reserve: usize,
+    reserve_end: usize,
+    kind: YcsbKind,
+    zipf: Zipf,
+    /// Own inserts so far, in insertion order (D's recency window reads
+    /// from the back).
+    inserted: Vec<u64>,
+    max_scan_len: usize,
+    rng: SplitMix64,
+    remaining: usize,
+}
+
+impl YcsbStream {
+    /// A key at zipfian recency rank 0..window: rank 0 is this thread's
+    /// newest insert, ranks past the inserts fall back to the tail of
+    /// the loaded keys (the "oldest recent" data).
+    fn latest_key(&mut self) -> u64 {
+        let rank = self.zipf.sample(&mut self.rng) as usize;
+        if rank < self.inserted.len() {
+            return self.inserted[self.inserted.len() - 1 - rank];
+        }
+        if self.loaded.is_empty() {
+            return match self.inserted.last() {
+                Some(&k) => k,
+                None => 1 + self.rng.next_u64() % (u64::MAX - 1),
+            };
+        }
+        let back = (rank - self.inserted.len()) % self.loaded.len();
+        self.loaded[self.loaded.len() - 1 - back]
+    }
+
+    /// A zipfian scan-start key over the loaded keys (same hot-rank
+    /// scatter as [`crate::ops::OpStream`]).
+    fn scan_start(&mut self) -> u64 {
+        if self.loaded.is_empty() {
+            return 1 + self.rng.next_u64() % (u64::MAX - 1);
+        }
+        let rank = self.zipf.sample(&mut self.rng) as usize;
+        let pos = rank.wrapping_mul(0x9E37_79B9) % self.loaded.len();
+        self.loaded[pos]
+    }
+
+    fn insert_op(&mut self) -> Option<Op> {
+        if self.next_reserve < self.reserve_end {
+            let k = self.reserve[self.next_reserve];
+            self.next_reserve += 1;
+            self.inserted.push(k);
+            return Some(Op::Insert(k, k ^ 0x5555));
+        }
+        None
+    }
+}
+
+impl Iterator for YcsbStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let roll = self.rng.next_below(100) as u8;
+        let op = match self.kind {
+            YcsbKind::D => {
+                if roll < 95 {
+                    Op::Read(self.latest_key())
+                } else {
+                    // Reserve exhausted: degrade to the read path.
+                    self.insert_op()
+                        .unwrap_or_else(|| Op::Read(self.latest_key()))
+                }
+            }
+            YcsbKind::E => {
+                if roll < 95 {
+                    let len = 1 + self.rng.next_below(self.max_scan_len as u64) as usize;
+                    Op::Scan(self.scan_start(), len)
+                } else {
+                    self.insert_op().unwrap_or_else(|| {
+                        let len = 1 + self.rng.next_below(self.max_scan_len as u64) as usize;
+                        Op::Scan(self.scan_start(), len)
+                    })
+                }
+            }
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(kind: YcsbKind) -> YcsbPlan {
+        let loaded: Vec<u64> = (1..=10_000u64).map(|i| i * 2).collect();
+        let reserve: Vec<u64> = (1..=10_000u64).map(|i| i * 2 + 1).collect();
+        YcsbPlan::new(loaded, reserve, kind, 0.99, 42)
+    }
+
+    #[test]
+    fn d_mix_ratio_and_recency() {
+        let p = plan(YcsbKind::D);
+        let ops: Vec<Op> = p.stream(0, 4, 4000).collect();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(..))).count();
+        assert_eq!(reads + inserts, 4000);
+        assert!((3700..=3950).contains(&reads), "reads {reads}");
+        // Latest-distribution: once inserts accumulate, some reads must
+        // target this thread's own fresh keys (odd keys).
+        let mut seen_inserted = std::collections::HashSet::new();
+        let mut fresh_reads = 0usize;
+        for op in &ops {
+            match op {
+                Op::Insert(k, _) => {
+                    seen_inserted.insert(*k);
+                }
+                Op::Read(k) if seen_inserted.contains(k) => fresh_reads += 1,
+                _ => {}
+            }
+        }
+        assert!(fresh_reads > 0, "no read ever hit a fresh insert");
+    }
+
+    #[test]
+    fn d_reads_only_present_keys() {
+        let p = plan(YcsbKind::D);
+        let mut present: std::collections::HashSet<u64> = p.loaded.iter().copied().collect();
+        for op in p.stream(1, 4, 4000) {
+            match op {
+                Op::Insert(k, _) => {
+                    present.insert(k);
+                }
+                Op::Read(k) => assert!(present.contains(&k), "read of absent key {k}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn e_mix_ratio_and_scan_lengths() {
+        let p = plan(YcsbKind::E);
+        let ops: Vec<Op> = p.stream(0, 4, 4000).collect();
+        let scans = ops.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(..))).count();
+        assert_eq!(scans + inserts, 4000);
+        assert!((3700..=3950).contains(&scans), "scans {scans}");
+        for op in &ops {
+            if let Op::Scan(start, len) = op {
+                assert!((1..=100).contains(len), "scan len {len}");
+                assert!(*start >= 2 && *start <= 20_001, "scan start {start}");
+            }
+        }
+        // Uniform lengths: both halves of the range must occur.
+        assert!(ops.iter().any(|o| matches!(o, Op::Scan(_, n) if *n <= 50)));
+        assert!(ops.iter().any(|o| matches!(o, Op::Scan(_, n) if *n > 50)));
+    }
+
+    #[test]
+    fn insert_keys_are_disjoint_across_threads() {
+        let p = plan(YcsbKind::D);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..4 {
+            for op in p.stream(t, 4, 4000) {
+                if let Op::Insert(k, _) = op {
+                    assert!(seen.insert(k), "duplicate insert key {k}");
+                }
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        for kind in [YcsbKind::D, YcsbKind::E] {
+            let p = plan(kind);
+            let a: Vec<Op> = p.stream(2, 4, 1000).collect();
+            let b: Vec<Op> = p.stream(2, 4, 1000).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        assert_eq!(YcsbKind::parse("d"), Some(YcsbKind::D));
+        assert_eq!(YcsbKind::parse("E"), Some(YcsbKind::E));
+        assert_eq!(YcsbKind::parse("ycsb-d"), Some(YcsbKind::D));
+        assert_eq!(YcsbKind::parse("a"), None);
+        assert_eq!(YcsbKind::D.label(), "ycsb-d");
+        assert_eq!(YcsbKind::E.label(), "ycsb-e");
+    }
+
+    #[test]
+    fn empty_loaded_set_still_generates() {
+        let p = YcsbPlan::new(Vec::new(), (1..=100u64).collect(), YcsbKind::D, 0.99, 7);
+        let ops: Vec<Op> = p.stream(0, 1, 200).collect();
+        assert_eq!(ops.len(), 200);
+    }
+}
